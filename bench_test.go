@@ -1,0 +1,125 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// testing.B target per artefact. They run the same experiment code as
+// cmd/annbench at the tiny dataset scale so `go test -bench=.` finishes in
+// minutes; use the harness for full-scale runs:
+//
+//	go run ./cmd/annbench -experiment fig2 -scale repro
+//
+// The first iteration of each benchmark pays dataset generation, index
+// construction and tuning; the shared bench memoises those across targets,
+// mirroring how the paper's scripts reuse built indexes.
+package svdbench
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"svdbench/internal/core"
+	"svdbench/internal/dataset"
+)
+
+var (
+	benchOnce sync.Once
+	benchInst *core.Bench
+)
+
+// sharedBench returns the process-wide bench at tiny scale with fast cells.
+func sharedBench() *core.Bench {
+	benchOnce.Do(func() {
+		benchInst = core.NewBench(dataset.ScaleTiny, "")
+		benchInst.RunDefaults = core.RunConfig{
+			Duration:    150 * time.Millisecond,
+			Repetitions: 1,
+			Cores:       20,
+		}
+	})
+	return benchInst
+}
+
+// runExperiment drives one registry entry b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := core.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := sharedBench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(bench, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1SSDCalibration(b *testing.B)      { runExperiment(b, "table1") }
+func BenchmarkTable2ParameterTuning(b *testing.B)     { runExperiment(b, "table2") }
+func BenchmarkFig2Throughput(b *testing.B)            { runExperiment(b, "fig2") }
+func BenchmarkFig3Latency(b *testing.B)               { runExperiment(b, "fig3") }
+func BenchmarkFig4CPU(b *testing.B)                   { runExperiment(b, "fig4") }
+func BenchmarkFig5BandwidthTimeline(b *testing.B)     { runExperiment(b, "fig5") }
+func BenchmarkFig6PerQueryBandwidth(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7SearchListThroughput(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8SearchListLatency(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9SearchListRecall(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10SearchListBandwidth(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11SearchListPerQueryBW(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFig12BeamWidthThroughput(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13BeamWidthLatency(b *testing.B)     { runExperiment(b, "fig13") }
+func BenchmarkFig14BeamWidthBandwidth(b *testing.B)   { runExperiment(b, "fig14") }
+func BenchmarkFig15BeamWidthPerQueryBW(b *testing.B)  { runExperiment(b, "fig15") }
+func BenchmarkExtAHybridWorkload(b *testing.B)        { runExperiment(b, "extA") }
+func BenchmarkExtBFilteredSearch(b *testing.B)        { runExperiment(b, "extB") }
+func BenchmarkExtCAblation(b *testing.B)              { runExperiment(b, "extC") }
+func BenchmarkExtDSPANN(b *testing.B)                 { runExperiment(b, "extD") }
+
+// --- Micro-benchmarks of the core building blocks ---
+
+var (
+	microOnce  sync.Once
+	microStack *core.Stack
+)
+
+func microDiskANN(b *testing.B) *core.Stack {
+	b.Helper()
+	microOnce.Do(func() {
+		st, err := sharedBench().Stack("cohere-small", milvusDiskANNSetup())
+		if err != nil {
+			panic(err)
+		}
+		microStack = st
+	})
+	return microStack
+}
+
+func milvusDiskANNSetup() Setup {
+	return Setup{Engine: Milvus(), Index: IndexDiskANN}
+}
+
+// BenchmarkDiskANNQuery measures one real beam-search query.
+func BenchmarkDiskANNQuery(b *testing.B) {
+	st := microDiskANN(b)
+	ds := st.Dataset
+	opts := SearchOptions{SearchList: 10, BeamWidth: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Queries.Row(i % ds.Queries.Len())
+		st.Col.SearchDirect(q, PaperK, opts, false)
+	}
+}
+
+// BenchmarkReplayQuery measures one simulated query execution end to end.
+func BenchmarkReplayQuery(b *testing.B) {
+	st := microDiskANN(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := RunWorkload(st.Execs, Milvus(), RunConfig{
+			Threads: 4, Duration: 20 * time.Millisecond, Repetitions: 1, Cores: 20,
+		})
+		if out.Metrics.Served == 0 {
+			b.Fatal("no queries served")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command annbench is the benchmark harness: it regenerates any table or
+// figure of the paper against the simulated testbed.
+//
+// Usage:
+//
+//	annbench -list
+//	annbench -experiment fig2 [-scale small] [-duration 2s] [-reps 3]
+//	annbench -experiment all -quick
+//
+// Results print as aligned text tables; EXPERIMENTS.md archives a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"svdbench/internal/core"
+	"svdbench/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "annbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("annbench", flag.ContinueOnError)
+	var (
+		expID    = fs.String("experiment", "", "experiment id (see -list), or \"all\"")
+		scale    = fs.String("scale", string(dataset.ScaleSmall), "dataset scale: tiny, small, repro")
+		duration = fs.Duration("duration", 2*time.Second, "virtual measurement window per cell")
+		reps     = fs.Int("reps", 3, "repetitions per cell")
+		cores    = fs.Int("cores", 20, "simulated CPU cores (paper testbed: 20)")
+		dataDir  = fs.String("data", defaultDataDir(), "dataset cache directory (empty disables caching)")
+		quick    = fs.Bool("quick", false, "tiny scale, 300ms cells, 1 repetition")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, e := range core.Experiments() {
+			fmt.Fprintf(stdout, "  %-8s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+	if *expID == "" {
+		fs.Usage()
+		return fmt.Errorf("-experiment required (or -list)")
+	}
+	if *quick {
+		*scale = string(dataset.ScaleTiny)
+		*duration = 300 * time.Millisecond
+		*reps = 1
+	}
+
+	b := core.NewBench(dataset.Scale(*scale), *dataDir)
+	b.RunDefaults = core.RunConfig{Duration: *duration, Repetitions: *reps, Cores: *cores}
+	if !*quiet {
+		logger := log.New(stderr, "annbench: ", log.Ltime)
+		b.Logf = logger.Printf
+	}
+
+	var ids []string
+	if *expID == "all" {
+		for _, e := range core.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		exp, err := core.ExperimentByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== %s (%s): %s [scale=%s duration=%v reps=%d]\n", exp.ID, exp.Paper, exp.Title, *scale, *duration, *reps)
+		start := time.Now()
+		if err := exp.Run(b, stdout); err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Fprintf(stdout, "== %s done in %v\n\n", exp.ID, time.Since(start).Round(time.Second))
+	}
+	return nil
+}
+
+func defaultDataDir() string {
+	if d := os.Getenv("SVDBENCH_DATA"); d != "" {
+		return d
+	}
+	return "data"
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "table2", "fig2", "fig15", "extA", "extD"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -experiment accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99", "-data", ""}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "table1", "-quick", "-quiet", "-data", ""}, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table1 done") {
+		t.Errorf("output = %s", out.String())
+	}
+}

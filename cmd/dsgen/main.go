@@ -1,0 +1,92 @@
+// Command dsgen generates and inspects the benchmark's synthetic embedding
+// datasets.
+//
+// Usage:
+//
+//	dsgen -name cohere-small -scale tiny -data ./data   # generate + cache
+//	dsgen -name openai-large -scale repro -info          # print stats too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"svdbench/internal/dataset"
+	"svdbench/internal/vec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dsgen", flag.ContinueOnError)
+	var (
+		name  = fs.String("name", "cohere-small", "catalog dataset name")
+		scale = fs.String("scale", string(dataset.ScaleTiny), "tiny, small or repro")
+		dir   = fs.String("data", "data", "cache directory (empty disables caching)")
+		info  = fs.Bool("info", false, "print statistics about the dataset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := dataset.CatalogSpec(*name, dataset.Scale(*scale))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ds, err := dataset.LoadOrGenerate(*dir, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: n=%d dim=%d queries=%d groundK=%d metric=%s (ready in %v)\n",
+		spec.Name, ds.Vectors.Len(), ds.Vectors.Dim, ds.Queries.Len(),
+		len(ds.GroundTruth[0]), spec.Metric, time.Since(start).Round(time.Millisecond))
+	if *dir != "" {
+		fmt.Fprintf(w, "cached at %s\n", dataset.CachePath(*dir, spec))
+	}
+	if *info {
+		printInfo(w, ds)
+	}
+	return nil
+}
+
+func printInfo(w io.Writer, ds *dataset.Dataset) {
+	// Norm check and nearest-neighbour distance distribution.
+	var normSum float64
+	samples := 0
+	for i := 0; i < ds.Vectors.Len(); i += 97 {
+		normSum += float64(vec.Norm(ds.Vectors.Row(i)))
+		samples++
+	}
+	fmt.Fprintf(w, "mean vector norm (sampled): %.4f\n", normSum/float64(samples))
+	var d1, dk float64
+	for qi := range ds.GroundTruth {
+		gt := ds.GroundTruth[qi]
+		q := ds.Queries.Row(qi)
+		d1 += float64(vec.Distance(ds.Spec.Metric, q, ds.Vectors.Row(int(gt[0]))))
+		last := gt[len(gt)-1]
+		dk += float64(vec.Distance(ds.Spec.Metric, q, ds.Vectors.Row(int(last))))
+	}
+	n := float64(len(ds.GroundTruth))
+	fmt.Fprintf(w, "mean distance to NN1: %.4f, to NN%d: %.4f\n", d1/n, len(ds.GroundTruth[0]), dk/n)
+	bytes := int64(ds.Vectors.Len()) * int64(ds.Vectors.Dim) * 4
+	fmt.Fprintf(w, "raw vector bytes: %.1f MiB (paper-scale original: %d vectors)\n",
+		float64(bytes)/(1<<20), dataset.PaperCount(dsBase(ds.Spec.Name)))
+}
+
+// dsBase strips the "@scale" suffix from a spec name.
+func dsBase(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '@' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesAndCaches(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-name", "cohere-small", "-scale", "tiny", "-data", dir, "-info"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"n=200", "dim=768", "cached at", "mean vector norm", "paper-scale original: 1000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Second call hits the cache (much faster, same output shape).
+	buf.Reset()
+	if err := run([]string{"-name", "cohere-small", "-scale", "tiny", "-data", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=200") {
+		t.Error("cache path broken")
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-name", "bogus", "-data", ""}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDsBase(t *testing.T) {
+	if dsBase("cohere-small@tiny") != "cohere-small" {
+		t.Error("dsBase wrong")
+	}
+	if dsBase("plain") != "plain" {
+		t.Error("dsBase without scale wrong")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunReadWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bs", "4096", "-jobs", "64", "-cores", "4", "-duration", "300ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	m := regexp.MustCompile(`IOPS\s+= (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no IOPS in output:\n%s", out)
+	}
+	iops, _ := strconv.Atoi(m[1])
+	// The paper's calibration point: ≈1.3 MIOPS at 64 deep on 4 cores.
+	if iops < 1_100_000 || iops > 1_500_000 {
+		t.Errorf("IOPS = %d, want ≈1.3M", iops)
+	}
+}
+
+func TestRunWriteWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rw", "write", "-duration", "100ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rw=write") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-bs", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("bs=0 accepted")
+	}
+	if err := run([]string{"-rw", "trim"}, &bytes.Buffer{}); err == nil {
+		t.Error("rw=trim accepted")
+	}
+}

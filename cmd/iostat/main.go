@@ -1,0 +1,78 @@
+// Command iostat analyses block-layer trace files (the CSV the harness can
+// emit, standing in for the paper's bpftrace captures): totals, per-second
+// bandwidth timeline, and the request size histogram behind O-15.
+//
+// Usage:
+//
+//	iostat -trace run.csv
+//	iostat -trace run.csv -bucket 100ms -hist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"svdbench/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "iostat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("iostat", flag.ContinueOnError)
+	var (
+		path   = fs.String("trace", "", "trace CSV file (required)")
+		bucket = fs.Duration("bucket", time.Second, "timeline bucket width")
+		hist   = fs.Bool("hist", false, "print request size histogram")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("-trace required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(w, "empty trace")
+		return nil
+	}
+
+	t := trace.NewTracer(false)
+	t.SetBucket(*bucket)
+	for _, r := range records {
+		t.Emit(r.At, r.Op, r.Bytes)
+	}
+	window := records[len(records)-1].At.Sub(records[0].At)
+	if window <= 0 {
+		window = *bucket
+	}
+	fmt.Fprintln(w, t.Summarize(window))
+	fmt.Fprintf(w, "4 KiB requests: %.4f%% (paper O-15: >99.99%% for DiskANN)\n", 100*t.FractionOfSize(4096))
+
+	fmt.Fprintln(w, "\ntimeline (read MiB/s per bucket):")
+	for _, p := range t.Timeline() {
+		fmt.Fprintf(w, "  %8v  %10.1f\n", time.Duration(p.Start), p.ReadMiBps(*bucket))
+	}
+	if *hist {
+		fmt.Fprintln(w, "\nrequest size histogram:")
+		for _, b := range t.SizeHistogram() {
+			fmt.Fprintf(w, "  %8d B  %d\n", b.Bytes, b.Count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalysis(t *testing.T) {
+	path := writeTrace(t, "ns,op,bytes\n0,R,4096\n1000000,R,4096\n2000000,W,8192\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-hist"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reads=2", "writes=1", "4 KiB requests", "timeline", "histogram", "8192"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	path := writeTrace(t, "ns,op,bytes\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestRunMissingFlag(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing -trace accepted")
+	}
+}
+
+func TestRunBadFile(t *testing.T) {
+	if err := run([]string{"-trace", "/nonexistent/x.csv"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTrace(t, "ns,op,bytes\n0,X,1\n")
+	if err := run([]string{"-trace", path}, &bytes.Buffer{}); err == nil {
+		t.Error("bad op accepted")
+	}
+}

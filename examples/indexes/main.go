@@ -1,0 +1,101 @@
+// Indexes: build every index family over the same dataset with the bare
+// constructor API and compare what each trades — accuracy, compute, I/O,
+// memory, and storage. The paper's Sec. II taxonomy in one table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"svdbench"
+	"svdbench/internal/index"
+)
+
+func main() {
+	spec, err := svdbench.CatalogSpec("cohere-small", svdbench.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := svdbench.GenerateDataset(spec)
+	metric := ds.Spec.Metric
+
+	type entry struct {
+		name  string
+		ix    svdbench.VectorIndex
+		opts  svdbench.SearchOptions
+		built time.Duration
+	}
+	var entries []entry
+	add := func(name string, opts svdbench.SearchOptions, build func() (svdbench.VectorIndex, error)) {
+		start := time.Now()
+		ix, err := build()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		entries = append(entries, entry{name, ix, opts, time.Since(start)})
+	}
+
+	add("FLAT (exact)", svdbench.SearchOptions{}, func() (svdbench.VectorIndex, error) {
+		return svdbench.NewFlat(ds.Vectors, metric, nil), nil
+	})
+	add("IVF_FLAT", svdbench.SearchOptions{NProbe: 6}, func() (svdbench.VectorIndex, error) {
+		return svdbench.BuildIVF(ds.Vectors, nil, svdbench.IVFConfig{Metric: metric, Seed: 1})
+	})
+	add("IVF_PQ", svdbench.SearchOptions{NProbe: 6}, func() (svdbench.VectorIndex, error) {
+		ix, err := svdbench.BuildIVF(ds.Vectors, nil, svdbench.IVFConfig{Metric: metric, Seed: 1, PQ: true})
+		if err != nil {
+			return nil, err
+		}
+		var page int64
+		ix.AssignPages(func(n int64) int64 { p := page; page += n; return p })
+		return ix, nil
+	})
+	add("HNSW", svdbench.SearchOptions{EfSearch: 20}, func() (svdbench.VectorIndex, error) {
+		return svdbench.BuildHNSW(ds.Vectors, nil, svdbench.HNSWConfig{M: 16, EfConstruction: 200, Metric: metric, Seed: 1})
+	})
+	add("DISKANN", svdbench.SearchOptions{SearchList: 10, BeamWidth: 4}, func() (svdbench.VectorIndex, error) {
+		ix, err := svdbench.BuildDiskANN(ds.Vectors, nil, svdbench.DiskANNConfig{Metric: metric, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		var page int64
+		ix.AssignPages(func(n int64) int64 { p := page; page += n; return p })
+		return ix, nil
+	})
+	add("SPANN", svdbench.SearchOptions{NProbe: 3}, func() (svdbench.VectorIndex, error) {
+		ix, err := svdbench.BuildSPANN(ds.Vectors, nil, svdbench.SPANNConfig{Metric: metric, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		var page int64
+		ix.AssignPages(func(n int64) int64 { p := page; page += n; return p })
+		return ix, nil
+	})
+
+	fmt.Printf("index family comparison on %s (%d × %d-d vectors)\n\n", spec.Name, ds.Vectors.Len(), ds.Vectors.Dim)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "index\tbuild\trecall@10\tfull dists\tPQ dists\tpages\tmemory KiB\tstorage KiB")
+	for _, e := range entries {
+		results := make([][]int32, ds.Queries.Len())
+		var stats index.Stats
+		for qi := range results {
+			res := e.ix.Search(ds.Queries.Row(qi), svdbench.PaperK, e.opts)
+			results[qi] = res.IDs
+			stats.Add(res.Stats)
+		}
+		n := ds.Queries.Len()
+		recall := svdbench.MeanRecallAtK(results, ds.GroundTruth, svdbench.PaperK)
+		var memKiB, stoKiB int64
+		if sr, ok := e.ix.(index.SizeReporter); ok {
+			memKiB, stoKiB = sr.MemoryBytes()/1024, sr.StorageBytes()/1024
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
+			e.name, e.built.Round(time.Millisecond), recall,
+			stats.DistComps/n, stats.PQComps/n, stats.PagesRead/n, memKiB, stoKiB)
+	}
+	tw.Flush()
+	fmt.Println("\n(storage-based indexes trade memory for SSD pages; quantised ones trade accuracy for bytes)")
+}

@@ -1,0 +1,3 @@
+module svdbench
+
+go 1.22

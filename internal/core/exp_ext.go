@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"svdbench/internal/dataset"
+	"svdbench/internal/index"
+	"svdbench/internal/sim"
+	"svdbench/internal/storage/ssd"
+	"svdbench/internal/trace"
+	"svdbench/internal/vdb"
+	"svdbench/internal/vec"
+)
+
+// runExtA extends the paper per its Sec. VIII: vector search under a
+// concurrent insert/delete stream. Writes occupy the SSD's shared bus (NAND
+// read/write interference) and burn CPU, degrading search throughput and
+// tail latency as the write rate grows.
+func runExtA(b *Bench, w io.Writer) error {
+	st, err := b.Stack("cohere-small", milvusDiskANN())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Milvus-DiskANN search under concurrent writes (16 query threads)")
+	tw := table(w, "writer threads", "QPS", "P99 (µs)", "read MiB/s", "write MiB/s")
+	for _, writers := range []int{0, 4, 16, 64, 128} {
+		m := runHybrid(st, 16, writers, b.mergeDefaults(RunConfig{}))
+		row(tw, writers,
+			fmt.Sprintf("%.1f", m.QPS),
+			fmtDur(m.P99),
+			fmt.Sprintf("%.1f", m.ReadMiBps),
+			fmt.Sprintf("%.1f", m.WriteMiBps))
+	}
+	return tw.Flush()
+}
+
+// runHybrid is the Ext-A workload: queryThreads closed-loop searchers plus
+// writerThreads alternating insert/delete clients against the same engine
+// and device.
+func runHybrid(st *Stack, queryThreads, writerThreads int, cfg RunConfig) Metrics {
+	k := sim.NewKernel()
+	cpu := sim.NewCPU(k, cfg.Cores)
+	dev := ssd.New(k, cpu, ssd.DefaultConfig())
+	tr := trace.NewTracer(false)
+	dev.Attach(tr)
+	eng := vdb.NewEngine(k, cpu, dev, st.Setup.Engine)
+	deadline := sim.Time(cfg.Duration)
+	var latencies []sim.Duration
+	var served int64
+	next := 0
+	for t := 0; t < queryThreads; t++ {
+		k.Spawn("query", func(e *sim.Env) {
+			for e.Now() < deadline {
+				qe := &st.Execs[next]
+				next++
+				if next == len(st.Execs) {
+					next = 0
+				}
+				start := e.Now()
+				if eng.RunQuery(e, qe) == nil && e.Now() <= deadline {
+					served++
+					latencies = append(latencies, e.Now().Sub(start))
+				}
+			}
+		})
+	}
+	vectorBytes := st.Dataset.Spec.Dim * 4
+	for t := 0; t < writerThreads; t++ {
+		k.Spawn("writer", func(e *sim.Env) {
+			i := 0
+			for e.Now() < deadline {
+				if i%8 == 7 {
+					eng.RunDelete(e)
+				} else {
+					eng.RunInsert(e, vectorBytes)
+				}
+				i++
+			}
+		})
+	}
+	k.RunAll()
+	m := Metrics{
+		P99:         Percentile(latencies, 0.99),
+		MeanLatency: MeanDuration(latencies),
+		Served:      served,
+	}
+	if cfg.Duration > 0 {
+		m.QPS = float64(served) / cfg.Duration.Seconds()
+	}
+	sum := tr.Summarize(cfg.Duration)
+	m.ReadMiBps = sum.ReadMiBps
+	m.WriteMiBps = sum.WriteMiBps
+	return m
+}
+
+// runExtB measures filtered search (payload predicate pushdown): recall
+// against filtered ground truth and the work amplification caused by
+// discarding candidates inside the traversal.
+func runExtB(b *Bench, w io.Writer) error {
+	ds, err := b.Dataset("cohere-small")
+	if err != nil {
+		return err
+	}
+	// Attach a payload with ~10% / ~50% selectivity classes.
+	payloads := make([]vdb.Payload, ds.Vectors.Len())
+	for i := range payloads {
+		cls := "common" // ~50%
+		if i%2 == 1 {
+			cls = "other"
+		}
+		if i%10 == 0 {
+			cls = "rare" // 10%
+		}
+		payloads[i] = vdb.Payload{"class": cls}
+	}
+	col, err := vdb.NewCollection("extB", ds.Spec.Dim, ds.Spec.Metric, vdb.Qdrant(), vdb.IndexHNSW, vdb.DefaultBuildParams())
+	if err != nil {
+		return err
+	}
+	if err := col.BulkLoad(ds.Vectors, payloads); err != nil {
+		return err
+	}
+	cases := []struct {
+		name   string
+		filter func(int32) bool
+		accept func(int32) bool
+	}{
+		{"unfiltered", nil, func(int32) bool { return true }},
+		{"class=common (~45%)", col.FilterEq("class", "common"), func(id int32) bool { return id%2 == 0 && id%10 != 0 }},
+		{"class=rare (10%)", col.FilterEq("class", "rare"), func(id int32) bool { return id%10 == 0 }},
+	}
+	tw := table(w, "filter", "recall@10", "mean dist comps", "QPS (16 threads)")
+	for _, c := range cases {
+		gt := filteredGroundTruth(ds, c.accept)
+		opts := index.SearchOptions{EfSearch: 128, Filter: c.filter}
+		execs := col.RecordQueries(ds.Queries, PaperK, opts)
+		recall := recallOfExecs(execs, gt)
+		// Mean work from a direct pass.
+		var comps int
+		n := ds.Queries.Len()
+		for qi := 0; qi < n; qi++ {
+			res := col.Segments()[0].Index.Search(ds.Queries.Row(qi), PaperK, opts)
+			comps += res.Stats.DistComps
+		}
+		out := Run(execs, vdb.Qdrant(), b.mergeDefaults(RunConfig{Threads: 16}))
+		row(tw, c.name,
+			fmt.Sprintf("%.3f", recall),
+			comps/n,
+			fmt.Sprintf("%.1f", out.Metrics.QPS))
+	}
+	return tw.Flush()
+}
+
+// filteredGroundTruth recomputes exact neighbours over the accepted subset.
+func filteredGroundTruth(ds *dataset.Dataset, accept func(int32) bool) [][]int32 {
+	var rows []int
+	for i := 0; i < ds.Vectors.Len(); i++ {
+		if accept(int32(i)) {
+			rows = append(rows, i)
+		}
+	}
+	sub := vecSubset(ds, rows)
+	gtLocal := dataset.BruteForce(sub, ds.Queries, ds.Spec.Metric, PaperK)
+	out := make([][]int32, len(gtLocal))
+	for qi, ids := range gtLocal {
+		mapped := make([]int32, len(ids))
+		for i, id := range ids {
+			mapped[i] = int32(rows[id])
+		}
+		out[qi] = mapped
+	}
+	return out
+}
+
+func vecSubset(ds *dataset.Dataset, rows []int) *vec.Matrix {
+	sub := vec.NewMatrix(len(rows), ds.Spec.Dim)
+	for i, r := range rows {
+		sub.SetRow(i, ds.Vectors.Row(r))
+	}
+	return sub
+}
+
+// runExtC reports the design ablations DESIGN.md calls out: beam search vs
+// best-first (W=1), and Milvus's segmentation vs a monolithic build.
+func runExtC(b *Bench, w io.Writer) error {
+	// Ablation 1: beam width on cohere-small, 1 thread.
+	st, err := b.Stack("cohere-small", milvusDiskANN())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# Ablation 1 — beam search vs best-first (search_list=100, 1 thread)")
+	tw := table(w, "beam width", "QPS", "P99 (µs)", "KiB/query")
+	for _, W := range []int{1, 4} {
+		execs := st.ExecsFor(index.SearchOptions{SearchList: 100, BeamWidth: W})
+		out := b.RunCell(st, execs, RunConfig{Threads: 1}, fmt.Sprintf("extC-W%d", W))
+		row(tw, W, fmt.Sprintf("%.1f", out.Metrics.QPS), fmtDur(out.Metrics.P99),
+			fmt.Sprintf("%.1f", out.Metrics.KiBPerQuery()))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	// Ablation 2: segmented vs monolithic Milvus-DiskANN on the large
+	// dataset — segmentation is the mechanism behind O-14's per-query
+	// bandwidth growth.
+	fmt.Fprintln(w, "# Ablation 2 — Milvus segmentation vs monolithic (cohere-large, DiskANN)")
+	seg, err := b.Stack("cohere-large", milvusDiskANN())
+	if err != nil {
+		return err
+	}
+	mono := vdb.Milvus()
+	mono.Name = "milvus-monolithic"
+	mono.SegmentCapacity = 0
+	monoStack, err := b.Stack("cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
+	if err != nil {
+		return err
+	}
+	tw = table(w, "layout", "segments", "QPS (t=16)", "P99 (µs)", "KiB/query", "recall@10")
+	for _, s := range []*Stack{seg, monoStack} {
+		out := b.RunCell(s, s.Execs, RunConfig{Threads: 16}, "extC-seg")
+		row(tw, s.Setup.Engine.Name, len(s.Col.Segments()),
+			fmt.Sprintf("%.1f", out.Metrics.QPS), fmtDur(out.Metrics.P99),
+			fmt.Sprintf("%.1f", out.Metrics.KiBPerQuery()),
+			fmt.Sprintf("%.3f", s.Recall))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// diskannPlateauThreads is the concurrency at which Milvus-DiskANN's
+// throughput plateaus in the paper (Sec. IV-A: after 4 concurrent threads).
+const diskannPlateauThreads = 4
+
+// runFig5 traces Milvus-DiskANN read bandwidth over the run at three
+// concurrency levels: 1, the plateau, and 256 (Sec. V-A).
+func runFig5(b *Bench, w io.Writer) error {
+	for _, dsName := range paperDatasets() {
+		st, err := b.Stack(dsName, milvusDiskANN())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# %s — Milvus-DiskANN read bandwidth timeline (MiB/s per bucket)\n", dsName)
+		for _, threads := range []int{1, diskannPlateauThreads, 256} {
+			res := b.RunCell(st, st.Execs, RunConfig{Threads: threads, Timeline: true}, "fig5")
+			fmt.Fprintf(w, "threads=%d mean=%.1f MiB/s: ", threads, res.Metrics.ReadMiBps)
+			for _, p := range res.Timeline {
+				fmt.Fprintf(w, "%.0f ", p.ReadMiBps(res.TimelineBucket))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig6 reports per-query average read bandwidth of Milvus-DiskANN at
+// concurrency 1 and 256, plus the request-size observation O-15.
+func runFig6(b *Bench, w io.Writer) error {
+	tw := table(w, "dataset", "threads", "KiB/query", "read MiB/s", "QPS", "4KiB fraction")
+	for _, dsName := range paperDatasets() {
+		st, err := b.Stack(dsName, milvusDiskANN())
+		if err != nil {
+			return err
+		}
+		for _, threads := range []int{1, 256} {
+			res := b.RunCell(st, st.Execs, RunConfig{Threads: threads, Timeline: true}, "fig5")
+			m := res.Metrics
+			row(tw, dsName, threads,
+				fmt.Sprintf("%.1f", m.KiBPerQuery()),
+				fmt.Sprintf("%.1f", m.ReadMiBps),
+				fmt.Sprintf("%.1f", m.QPS),
+				fmt.Sprintf("%.5f", m.Frac4KiB))
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"svdbench/internal/index"
+)
+
+// searchListOpts returns the DiskANN options of one Fig. 7–11 sweep point.
+func searchListOpts(L int) index.SearchOptions {
+	return index.SearchOptions{SearchList: L, BeamWidth: 4}
+}
+
+// beamWidthOpts returns the DiskANN options of one Fig. 12–15 sweep point.
+// As in the paper (Sec. VI-B), search_list is fixed at 100 so candidate
+// availability does not bottleneck the beam.
+func beamWidthOpts(W int) index.SearchOptions {
+	return index.SearchOptions{SearchList: 100, BeamWidth: W}
+}
+
+// sweepSearchList measures one dataset across the search_list ladder at the
+// given concurrency.
+func (b *Bench) sweepSearchList(dsName string, threads int) (map[int]Metrics, error) {
+	st, err := b.Stack(dsName, milvusDiskANN())
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]Metrics{}
+	for _, L := range SearchListSweep {
+		execs := st.ExecsFor(searchListOpts(L))
+		res := b.RunCell(st, execs, RunConfig{Threads: threads}, fmt.Sprintf("figSL-%d", L))
+		out[L] = res.Metrics
+	}
+	return out, nil
+}
+
+// sweepBeamWidth measures one dataset across the beam_width ladder. The
+// paper raises Milvus's maxReadConcurrentRatio for this experiment so the
+// beam is never starved of scheduler slots; the equivalent here is raising
+// the segment-task pool well beyond the core count.
+func (b *Bench) sweepBeamWidth(dsName string, threads int) (map[int]Metrics, error) {
+	st, err := b.Stack(dsName, milvusDiskANN())
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]Metrics{}
+	for _, W := range BeamWidthSweep {
+		execs := st.ExecsFor(beamWidthOpts(W))
+		res := b.RunCell(st, execs, RunConfig{Threads: threads, MaxReadConcurrent: 256}, fmt.Sprintf("figBW-%d", W))
+		out[W] = res.Metrics
+	}
+	return out, nil
+}
+
+func sweepHeader(vals []int, prefix string) []interface{} {
+	out := make([]interface{}, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%s=%d", prefix, v)
+	}
+	return out
+}
+
+// runFig7 prints DiskANN throughput across search_list at 1 and 256 threads.
+func runFig7(b *Bench, w io.Writer) error {
+	for _, threads := range []int{1, 256} {
+		fmt.Fprintf(w, "# Milvus-DiskANN throughput (QPS) vs search_list, threads=%d\n", threads)
+		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
+		for _, dsName := range paperDatasets() {
+			cells, err := b.sweepSearchList(dsName, threads)
+			if err != nil {
+				return err
+			}
+			cols := []interface{}{dsName}
+			for _, L := range SearchListSweep {
+				cols = append(cols, fmt.Sprintf("%.1f", cells[L].QPS))
+			}
+			row(tw, cols...)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig8 prints DiskANN P99 latency across search_list with one thread.
+func runFig8(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN P99 latency (µs) vs search_list, threads=1")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
+	for _, dsName := range paperDatasets() {
+		cells, err := b.sweepSearchList(dsName, 1)
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, L := range SearchListSweep {
+			cols = append(cols, fmtDur(cells[L].P99))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}
+
+// runFig9 prints recall@10 across search_list (pure algorithm property, no
+// simulation involved).
+func runFig9(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN recall@10 vs search_list")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
+	for _, dsName := range paperDatasets() {
+		st, err := b.Stack(dsName, milvusDiskANN())
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, L := range SearchListSweep {
+			cols = append(cols, fmt.Sprintf("%.3f", st.RecallFor(searchListOpts(L))))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}
+
+// runFig10 prints total read bandwidth across search_list at 1 and 256
+// threads.
+func runFig10(b *Bench, w io.Writer) error {
+	for _, threads := range []int{1, 256} {
+		fmt.Fprintf(w, "# Milvus-DiskANN read bandwidth (MiB/s) vs search_list, threads=%d\n", threads)
+		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
+		for _, dsName := range paperDatasets() {
+			cells, err := b.sweepSearchList(dsName, threads)
+			if err != nil {
+				return err
+			}
+			cols := []interface{}{dsName}
+			for _, L := range SearchListSweep {
+				cols = append(cols, fmt.Sprintf("%.1f", cells[L].ReadMiBps))
+			}
+			row(tw, cols...)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig11 prints per-query average bandwidth across search_list.
+func runFig11(b *Bench, w io.Writer) error {
+	for _, threads := range []int{1, 256} {
+		fmt.Fprintf(w, "# Milvus-DiskANN per-query read volume (KiB/query) vs search_list, threads=%d\n", threads)
+		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
+		for _, dsName := range paperDatasets() {
+			cells, err := b.sweepSearchList(dsName, threads)
+			if err != nil {
+				return err
+			}
+			cols := []interface{}{dsName}
+			for _, L := range SearchListSweep {
+				cols = append(cols, fmt.Sprintf("%.1f", cells[L].KiBPerQuery()))
+			}
+			row(tw, cols...)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// runFig12 prints throughput across beam_width (threads=1, as in the
+// artifact's var-bwidth runs).
+func runFig12(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN throughput (QPS) vs beam_width, search_list=100, threads=1")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
+	for _, dsName := range paperDatasets() {
+		cells, err := b.sweepBeamWidth(dsName, 1)
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, W := range BeamWidthSweep {
+			cols = append(cols, fmt.Sprintf("%.1f", cells[W].QPS))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}
+
+// runFig13 prints P99 latency across beam_width.
+func runFig13(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN P99 latency (µs) vs beam_width, search_list=100, threads=1")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
+	for _, dsName := range paperDatasets() {
+		cells, err := b.sweepBeamWidth(dsName, 1)
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, W := range BeamWidthSweep {
+			cols = append(cols, fmtDur(cells[W].P99))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}
+
+// runFig14 prints total read bandwidth across beam_width.
+func runFig14(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN read bandwidth (MiB/s) vs beam_width, search_list=100, threads=1")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
+	for _, dsName := range paperDatasets() {
+		cells, err := b.sweepBeamWidth(dsName, 1)
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, W := range BeamWidthSweep {
+			cols = append(cols, fmt.Sprintf("%.1f", cells[W].ReadMiBps))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}
+
+// runFig15 prints per-query bandwidth across beam_width.
+func runFig15(b *Bench, w io.Writer) error {
+	fmt.Fprintln(w, "# Milvus-DiskANN per-query read volume (KiB/query) vs beam_width, search_list=100, threads=1")
+	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
+	for _, dsName := range paperDatasets() {
+		cells, err := b.sweepBeamWidth(dsName, 1)
+		if err != nil {
+			return err
+		}
+		cols := []interface{}{dsName}
+		for _, W := range BeamWidthSweep {
+			cols = append(cols, fmt.Sprintf("%.1f", cells[W].KiBPerQuery()))
+		}
+		row(tw, cols...)
+	}
+	return tw.Flush()
+}

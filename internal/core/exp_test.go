@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runExp executes one experiment on a tiny bench and returns its output.
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skipf("%s builds index stacks", id)
+	}
+	b := tinyBench(t)
+	exp, err := ExperimentByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(b, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestExtAHybridSmoke(t *testing.T) {
+	out := runExp(t, "extA")
+	if !strings.Contains(out, "writer threads") {
+		t.Errorf("extA output malformed:\n%s", out)
+	}
+	// The zero-writer row must exist and carry zero write bandwidth.
+	if !strings.Contains(out, "0.0") {
+		t.Errorf("extA output missing baseline write bandwidth:\n%s", out)
+	}
+}
+
+func TestExtBFilteredSmoke(t *testing.T) {
+	out := runExp(t, "extB")
+	for _, want := range []string{"unfiltered", "class=rare (10%)", "recall@10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extB output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtCAblationSmoke(t *testing.T) {
+	out := runExp(t, "extC")
+	for _, want := range []string{"beam width", "milvus-monolithic", "segments"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extC output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5TimelineSmoke(t *testing.T) {
+	out := runExp(t, "fig5")
+	if !strings.Contains(out, "threads=1") || !strings.Contains(out, "threads=256") {
+		t.Errorf("fig5 output malformed:\n%s", out)
+	}
+}
+
+func TestFig6PerQuerySmoke(t *testing.T) {
+	out := runExp(t, "fig6")
+	if !strings.Contains(out, "KiB/query") || !strings.Contains(out, "4KiB fraction") {
+		t.Errorf("fig6 output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"svdbench/internal/dataset"
+	"svdbench/internal/vdb"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the harness identifier ("fig2", "table1", "extA", ...).
+	ID string
+	// Paper names the table/figure in the paper.
+	Paper string
+	// Title describes what is measured.
+	Title string
+	// Run executes the experiment, writing its rows to w.
+	Run func(b *Bench, w io.Writer) error
+}
+
+// Experiments returns the full registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Paper: "Table I", Title: "SSD calibration: fio-style raw device envelope", Run: runTable1},
+		{ID: "table2", Paper: "Table II", Title: "Build/search-time parameters and achieved recall@10", Run: runTable2},
+		{ID: "fig2", Paper: "Figure 2", Title: "Throughput scalability vs query threads", Run: runFig2},
+		{ID: "fig3", Paper: "Figure 3", Title: "P99 latency scalability vs query threads", Run: runFig3},
+		{ID: "fig4", Paper: "Figure 4", Title: "Global CPU usage vs query threads", Run: runFig4},
+		{ID: "fig5", Paper: "Figure 5", Title: "Milvus-DiskANN read bandwidth timeline", Run: runFig5},
+		{ID: "fig6", Paper: "Figure 6", Title: "Milvus-DiskANN per-query read bandwidth", Run: runFig6},
+		{ID: "fig7", Paper: "Figure 7", Title: "DiskANN throughput vs search_list", Run: runFig7},
+		{ID: "fig8", Paper: "Figure 8", Title: "DiskANN P99 latency vs search_list", Run: runFig8},
+		{ID: "fig9", Paper: "Figure 9", Title: "DiskANN recall@10 vs search_list", Run: runFig9},
+		{ID: "fig10", Paper: "Figure 10", Title: "DiskANN total read bandwidth vs search_list", Run: runFig10},
+		{ID: "fig11", Paper: "Figure 11", Title: "DiskANN per-query bandwidth vs search_list", Run: runFig11},
+		{ID: "fig12", Paper: "Figure 12", Title: "DiskANN throughput vs beam_width", Run: runFig12},
+		{ID: "fig13", Paper: "Figure 13", Title: "DiskANN P99 latency vs beam_width", Run: runFig13},
+		{ID: "fig14", Paper: "Figure 14", Title: "DiskANN total read bandwidth vs beam_width", Run: runFig14},
+		{ID: "fig15", Paper: "Figure 15", Title: "DiskANN per-query bandwidth vs beam_width", Run: runFig15},
+		{ID: "extA", Paper: "Extension A", Title: "Hybrid search + insert/delete workload (Sec. VIII)", Run: runExtA},
+		{ID: "extB", Paper: "Extension B", Title: "Filtered search performance (Sec. VIII)", Run: runExtB},
+		{ID: "extC", Paper: "Extension C", Title: "Design ablations: beam width 1, monolithic Milvus", Run: runExtC},
+		{ID: "extD", Paper: "Extension D", Title: "Storage-index shoot-out: DiskANN vs SPANN-style clusters", Run: runExtD},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+}
+
+// table starts an aligned output table with a header row.
+func table(w io.Writer, cols ...interface{}) *tabwriter.Writer {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	row(tw, cols...)
+	return tw
+}
+
+func row(tw *tabwriter.Writer, cols ...interface{}) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, c)
+	}
+	fmt.Fprintln(tw)
+}
+
+// paperDatasets is the evaluation's dataset order.
+func paperDatasets() []string { return dataset.CatalogNames() }
+
+// setupsForFigure2 returns the seven setups, LanceDB last as in the paper's
+// legends.
+func setupsForFigure2() []vdb.Setup { return vdb.PaperSetups() }
+
+// milvusDiskANN is the setup Sections V and VI study exclusively.
+func milvusDiskANN() vdb.Setup { return vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexDiskANN} }
+
+// failLabel annotates a cell whose queries failed (the paper's LanceDB OOM
+// exclusions).
+func failLabel(m Metrics) string {
+	if m.Failed > 0 && m.Served == 0 {
+		return "FAIL(oom)"
+	}
+	if m.Failed > 0 {
+		return fmt.Sprintf("%.1f (partial, %d oom)", m.QPS, m.Failed)
+	}
+	return fmt.Sprintf("%.1f", m.QPS)
+}

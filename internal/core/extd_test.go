@@ -1,0 +1,15 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtDSPANNSmoke(t *testing.T) {
+	out := runExp(t, "extD")
+	for _, want := range []string{"DiskANN", "SPANN", "amplification"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extD output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"svdbench/internal/sim"
+)
+
+func TestPercentile(t *testing.T) {
+	var samples []sim.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, sim.Duration(i)*time.Millisecond)
+	}
+	if got := Percentile(samples, 0.99); got != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", got)
+	}
+	if got := Percentile(samples, 0.5); got != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", got)
+	}
+	if got := Percentile(samples, 1.0); got != 100*time.Millisecond {
+		t.Errorf("P100 = %v, want 100ms", got)
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty P99 = %v", got)
+	}
+	one := []sim.Duration{7 * time.Millisecond}
+	if got := Percentile(one, 0.99); got != 7*time.Millisecond {
+		t.Errorf("single-sample P99 = %v", got)
+	}
+}
+
+func TestPercentileUnsortedInputUnchanged(t *testing.T) {
+	samples := []sim.Duration{5, 1, 3}
+	Percentile(samples, 0.99)
+	if samples[0] != 5 || samples[1] != 1 || samples[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if got := MeanDuration([]sim.Duration{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := MeanDuration(nil); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || math.Abs(s-2) > 1e-9 {
+		t.Errorf("mean=%v std=%v, want 5, 2", m, s)
+	}
+	m, s = MeanStd(nil)
+	if m != 0 || s != 0 {
+		t.Error("empty MeanStd nonzero")
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	reps := []Metrics{
+		{QPS: 100, P99: 10 * time.Millisecond, CPUUtil: 0.4, Served: 100, BytesPerQuery: 1000},
+		{QPS: 200, P99: 20 * time.Millisecond, CPUUtil: 0.6, Served: 200, BytesPerQuery: 3000},
+	}
+	agg := AggregateRuns(reps)
+	if agg.QPS != 150 {
+		t.Errorf("mean QPS = %v", agg.QPS)
+	}
+	if agg.QPSStd != 50 {
+		t.Errorf("QPS std = %v", agg.QPSStd)
+	}
+	if agg.P99 != 15*time.Millisecond {
+		t.Errorf("mean P99 = %v", agg.P99)
+	}
+	if agg.CPUUtil != 0.5 {
+		t.Errorf("mean CPU = %v", agg.CPUUtil)
+	}
+	if agg.Served != 300 {
+		t.Errorf("served = %d", agg.Served)
+	}
+	if agg.BytesPerQuery != 2000 {
+		t.Errorf("bytes/query = %v", agg.BytesPerQuery)
+	}
+	if AggregateRuns(nil).QPS != 0 {
+		t.Error("empty aggregate nonzero")
+	}
+}
+
+func TestMetricsFormatting(t *testing.T) {
+	m := Metrics{QPS: 10, BytesPerQuery: 2048}
+	if m.KiBPerQuery() != 2 {
+		t.Errorf("KiB/query = %v", m.KiBPerQuery())
+	}
+	if m.String() == "" {
+		t.Error("empty string")
+	}
+	if fmtDur(1500*time.Microsecond) != "1500" {
+		t.Errorf("fmtDur = %s", fmtDur(1500*time.Microsecond))
+	}
+}

@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"svdbench/internal/vec"
+)
+
+// File format: a little-endian binary layout with a magic header, the spec,
+// then vectors, queries and ground truth. The format exists so expensive
+// ground-truth computation is paid once per spec and reused across harness
+// invocations.
+
+const fileMagic = "SVDBDS01"
+
+// CachePath returns the cache file name for a spec inside dir. Every field
+// that shapes the generated data participates, so changing the generator's
+// parameters can never resurrect stale caches.
+func CachePath(dir string, spec Spec) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-n%d-d%d-q%d-k%d-s%d-c%d-sp%03d.ds",
+		sanitize(spec.Name), spec.N, spec.Dim, spec.NumQueries, spec.GroundK, spec.Seed,
+		spec.Clusters, int(spec.Spread*100)))
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// LoadOrGenerate returns the dataset for spec, reading it from the cache
+// directory when present and generating + caching it otherwise. An empty dir
+// disables caching.
+func LoadOrGenerate(dir string, spec Spec) (*Dataset, error) {
+	if dir == "" {
+		return Generate(spec), nil
+	}
+	path := CachePath(dir, spec)
+	if ds, err := ReadFile(path); err == nil {
+		return ds, nil
+	}
+	ds := Generate(spec)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: create cache dir: %w", err)
+	}
+	if err := WriteFile(path, ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteFile stores the dataset at path atomically.
+func WriteFile(path string, ds *Dataset) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := encode(w, ds); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: close: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads a dataset previously stored with WriteFile.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(bufio.NewReaderSize(f, 1<<20))
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("bad string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeFloats(w io.Writer, data []float32) error {
+	buf := make([]byte, 8192)
+	for len(data) > 0 {
+		n := len(buf) / 4
+		if n > len(data) {
+			n = len(data)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(data[i]))
+		}
+		if _, err := w.Write(buf[:n*4]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, data []float32) error {
+	buf := make([]byte, 8192)
+	for len(data) > 0 {
+		n := len(buf) / 4
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := io.ReadFull(r, buf[:n*4]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+func encode(w io.Writer, ds *Dataset) error {
+	if _, err := io.WriteString(w, fileMagic); err != nil {
+		return err
+	}
+	if err := writeString(w, ds.Spec.Name); err != nil {
+		return err
+	}
+	hdr := []int64{
+		int64(ds.Spec.N), int64(ds.Spec.Dim), int64(ds.Spec.NumQueries),
+		int64(ds.Spec.Clusters), int64(math.Float64bits(ds.Spec.Spread)),
+		ds.Spec.Seed, int64(ds.Spec.Metric), int64(ds.Spec.GroundK),
+	}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := writeFloats(w, ds.Vectors.Raw()); err != nil {
+		return err
+	}
+	if err := writeFloats(w, ds.Queries.Raw()); err != nil {
+		return err
+	}
+	for _, gt := range ds.GroundTruth {
+		if err := binary.Write(w, binary.LittleEndian, int32(len(gt))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, gt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decode(r io.Reader) (*Dataset, error) {
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]int64, 8)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	spec := Spec{
+		Name:       name,
+		N:          int(hdr[0]),
+		Dim:        int(hdr[1]),
+		NumQueries: int(hdr[2]),
+		Clusters:   int(hdr[3]),
+		Spread:     math.Float64frombits(uint64(hdr[4])),
+		Seed:       hdr[5],
+		Metric:     vec.Metric(hdr[6]),
+		GroundK:    int(hdr[7]),
+	}
+	if spec.N <= 0 || spec.Dim <= 0 || spec.NumQueries <= 0 || spec.N > 1<<31 {
+		return nil, fmt.Errorf("dataset: corrupt header %+v", spec)
+	}
+	vectors := vec.NewMatrix(spec.N, spec.Dim)
+	if err := readFloats(r, vectors.Raw()); err != nil {
+		return nil, err
+	}
+	queries := vec.NewMatrix(spec.NumQueries, spec.Dim)
+	if err := readFloats(r, queries.Raw()); err != nil {
+		return nil, err
+	}
+	gt := make([][]int32, spec.NumQueries)
+	for i := range gt {
+		var n int32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n < 0 || int(n) > spec.N {
+			return nil, fmt.Errorf("dataset: corrupt ground truth length %d", n)
+		}
+		gt[i] = make([]int32, n)
+		if err := binary.Read(r, binary.LittleEndian, gt[i]); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{Spec: spec, Vectors: vectors, Queries: queries, GroundTruth: gt}, nil
+}

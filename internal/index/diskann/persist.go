@@ -1,0 +1,85 @@
+package diskann
+
+import (
+	"fmt"
+
+	"svdbench/internal/binenc"
+	"svdbench/internal/index"
+	"svdbench/internal/index/pq"
+	"svdbench/internal/vec"
+)
+
+const persistMagic = "VAMA0001"
+
+// WriteTo serialises the Vamana graph, the medoid, and the in-memory PQ
+// state. Full-precision vectors are not written: they are re-derivable from
+// the dataset and supplied again at load time (on a real deployment they
+// live in the on-SSD node pages).
+func (ix *Index) WriteTo(w *binenc.Writer) {
+	w.Magic(persistMagic)
+	w.Int(ix.cfg.R)
+	w.Int(ix.cfg.LBuild)
+	w.F64(ix.cfg.Alpha)
+	w.Int(int(ix.cfg.Metric))
+	w.I64(ix.cfg.Seed)
+	w.Int(ix.cfg.PQM)
+	w.Int(ix.cfg.PageSize)
+	w.Int(ix.data.Len())
+	w.I32(ix.medoid)
+	for _, nbrs := range ix.graph {
+		w.I32s(nbrs)
+	}
+	ix.quantizer.WriteTo(w)
+	w.Bytes(ix.codes)
+}
+
+// ReadFrom deserialises an index written with WriteTo, re-binding it to the
+// vector data (and optional external ids) it was built over.
+func ReadFrom(r *binenc.Reader, data *vec.Matrix, ids []int32) (*Index, error) {
+	r.Magic(persistMagic)
+	cfg := Config{
+		R:        r.Int(),
+		LBuild:   r.Int(),
+		Alpha:    r.F64(),
+		Metric:   vec.Metric(r.Int()),
+		Seed:     r.I64(),
+		PQM:      r.Int(),
+		PageSize: r.Int(),
+	}
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n != data.Len() {
+		return nil, fmt.Errorf("diskann: persisted index has %d nodes, data has %d", n, data.Len())
+	}
+	if cfg.R <= 0 || cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("diskann: corrupt persisted config %+v", cfg)
+	}
+	ix := &Index{
+		cfg:    cfg,
+		data:   data,
+		ids:    ids,
+		medoid: r.I32(),
+		cost:   index.DefaultCostModel(),
+		scorer: index.NewScorer(data, cfg.Metric),
+	}
+	ix.pagesPerNode = (data.Dim*4 + 4 + cfg.R*4 + cfg.PageSize - 1) / cfg.PageSize
+	ix.graph = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		ix.graph[i] = r.I32s()
+	}
+	q, err := pq.ReadQuantizer(r)
+	if err != nil {
+		return nil, fmt.Errorf("diskann: %w", err)
+	}
+	ix.quantizer = q
+	ix.codes = r.Bytes()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if int(ix.medoid) >= n || len(ix.codes) != n*q.M() {
+		return nil, fmt.Errorf("diskann: corrupt persisted index")
+	}
+	return ix, nil
+}

@@ -1,0 +1,57 @@
+package diskann
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"svdbench/internal/binenc"
+	"svdbench/internal/index"
+	"svdbench/internal/vec"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	ds, orig := shared(t)
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(binenc.NewReader(&buf), ds.Vectors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Medoid() != orig.Medoid() || got.PagesPerNode() != orig.PagesPerNode() {
+		t.Error("metadata mismatch after round trip")
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := ds.Queries.Row(qi)
+		a := orig.Search(q, 10, index.SearchOptions{SearchList: 20, BeamWidth: 4})
+		b := got.Search(q, 10, index.SearchOptions{SearchList: 20, BeamWidth: 4})
+		if !reflect.DeepEqual(a.IDs, b.IDs) {
+			t.Fatalf("query %d: %v vs %v", qi, a.IDs, b.IDs)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("query %d stats differ: %+v vs %+v", qi, a.Stats, b.Stats)
+		}
+	}
+}
+
+func TestPersistRejectsWrongData(t *testing.T) {
+	_, orig := shared(t)
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	w.Flush()
+	if _, err := ReadFrom(binenc.NewReader(&buf), vec.NewMatrix(7, 32), nil); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	r := binenc.NewReader(bytes.NewReader([]byte("VAMAGARBAGEGARBAGEGARBAGE")))
+	if _, err := ReadFrom(r, vec.NewMatrix(1, 4), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Package flat implements the exact brute-force index: every query scans all
+// vectors. It is the accuracy baseline (recall 1.0 by construction) and the
+// reference the paper's recall@10 numbers are measured against.
+package flat
+
+import (
+	"svdbench/internal/index"
+	"svdbench/internal/vec"
+)
+
+// Index is a brute-force scan over a vector matrix.
+type Index struct {
+	data   *vec.Matrix
+	metric vec.Metric
+	cost   index.CostModel
+	// ids maps matrix rows to external ids (nil means identity).
+	ids []int32
+}
+
+// New creates a flat index over data. ids, when non-nil, maps rows to
+// external ids.
+func New(data *vec.Matrix, metric vec.Metric, ids []int32) *Index {
+	return &Index{data: data, metric: metric, cost: index.DefaultCostModel(), ids: ids}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "FLAT" }
+
+// Metric implements index.Index.
+func (ix *Index) Metric() vec.Metric { return ix.metric }
+
+// Len implements index.Index.
+func (ix *Index) Len() int { return ix.data.Len() }
+
+// MemoryBytes implements index.SizeReporter.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(ix.data.Len()) * int64(ix.data.Dim) * 4
+}
+
+// StorageBytes implements index.SizeReporter.
+func (ix *Index) StorageBytes() int64 { return 0 }
+
+// Search implements index.Index with an exact scan.
+func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
+	var heap index.MaxHeap
+	n := ix.data.Len()
+	comps := 0
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		if ix.ids != nil {
+			id = ix.ids[i]
+		}
+		if opts.Filter != nil && !opts.Filter(id) {
+			continue
+		}
+		d := vec.Distance(ix.metric, q, ix.data.Row(i))
+		comps++
+		heap.PushBounded(index.Neighbor{ID: id, Dist: d}, k)
+	}
+	stats := index.Stats{DistComps: comps}
+	opts.Recorder.AddCPU(ix.cost.Dist(ix.data.Dim, comps) + ix.cost.Heap(comps))
+	opts.Recorder.Flush()
+	return index.ResultFromNeighbors(heap.SortedAscending(), k, stats)
+}
+
+var _ index.Index = (*Index)(nil)
+var _ index.SizeReporter = (*Index)(nil)

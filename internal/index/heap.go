@@ -1,0 +1,164 @@
+package index
+
+// Neighbor is a candidate vector with its distance to the query.
+type Neighbor struct {
+	ID   int32
+	Dist float32
+}
+
+// neighborLess orders neighbours by distance, breaking ties by id so search
+// results are deterministic.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// MinHeap is a binary min-heap of neighbours (closest on top), used as the
+// expansion frontier in graph searches.
+type MinHeap struct{ a []Neighbor }
+
+// Len returns the heap size.
+func (h *MinHeap) Len() int { return len(h.a) }
+
+// Push inserts n.
+func (h *MinHeap) Push(n Neighbor) {
+	h.a = append(h.a, n)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !neighborLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the closest neighbour. It panics on an empty heap.
+func (h *MinHeap) Pop() Neighbor {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && neighborLess(h.a[l], h.a[small]) {
+			small = l
+		}
+		if r < last && neighborLess(h.a[r], h.a[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}
+
+// Peek returns the closest neighbour without removing it.
+func (h *MinHeap) Peek() Neighbor { return h.a[0] }
+
+// Reset empties the heap, keeping its storage.
+func (h *MinHeap) Reset() { h.a = h.a[:0] }
+
+// MaxHeap is a binary max-heap of neighbours (farthest on top), used as the
+// bounded result set: when full, the farthest candidate is evicted first.
+type MaxHeap struct{ a []Neighbor }
+
+// Len returns the heap size.
+func (h *MaxHeap) Len() int { return len(h.a) }
+
+// Push inserts n.
+func (h *MaxHeap) Push(n Neighbor) {
+	h.a = append(h.a, n)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !neighborLess(h.a[p], h.a[i]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the farthest neighbour. It panics on an empty
+// heap.
+func (h *MaxHeap) Pop() Neighbor {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && neighborLess(h.a[big], h.a[l]) {
+			big = l
+		}
+		if r < last && neighborLess(h.a[big], h.a[r]) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.a[i], h.a[big] = h.a[big], h.a[i]
+		i = big
+	}
+	return top
+}
+
+// Peek returns the farthest neighbour without removing it.
+func (h *MaxHeap) Peek() Neighbor { return h.a[0] }
+
+// Reset empties the heap, keeping its storage.
+func (h *MaxHeap) Reset() { h.a = h.a[:0] }
+
+// PushBounded inserts n keeping at most k elements: when full, n replaces
+// the farthest element only if closer. It reports whether n was kept.
+func (h *MaxHeap) PushBounded(n Neighbor, k int) bool {
+	if len(h.a) < k {
+		h.Push(n)
+		return true
+	}
+	if neighborLess(n, h.a[0]) {
+		h.Pop()
+		h.Push(n)
+		return true
+	}
+	return false
+}
+
+// SortedAscending drains the heap and returns neighbours from closest to
+// farthest. The heap is empty afterwards.
+func (h *MaxHeap) SortedAscending() []Neighbor {
+	out := make([]Neighbor, len(h.a))
+	for i := len(h.a) - 1; i >= 0; i-- {
+		out[i] = h.Pop()
+	}
+	return out
+}
+
+// ResultFromNeighbors converts an ascending neighbour list into a Result,
+// truncated to k.
+func ResultFromNeighbors(ns []Neighbor, k int, stats Stats) Result {
+	if k > len(ns) {
+		k = len(ns)
+	}
+	r := Result{
+		IDs:   make([]int32, k),
+		Dists: make([]float32, k),
+		Stats: stats,
+	}
+	for i := 0; i < k; i++ {
+		r.IDs[i] = ns[i].ID
+		r.Dists[i] = ns[i].Dist
+	}
+	return r
+}

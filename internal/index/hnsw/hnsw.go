@@ -1,0 +1,496 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph index
+// (Malkov & Yashunin, TPAMI 2020), the memory-based graph index used by
+// Milvus, Qdrant, Weaviate and LanceDB in the paper.
+//
+// The implementation is the complete algorithm: exponentially sampled layer
+// levels, greedy descent through upper layers, efConstruction-bounded
+// candidate search during insertion, and the distance-based heuristic
+// neighbour selection of the original paper (Algorithm 4). An optional
+// scalar-quantised variant evaluates distances over int8 codes, matching
+// LanceDB's HNSW-SQ configuration (and its accuracy penalty, O-3).
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"svdbench/internal/index"
+	"svdbench/internal/index/sq"
+	"svdbench/internal/vec"
+)
+
+// Config controls construction.
+type Config struct {
+	// M is the maximum out-degree of upper layers; layer 0 allows 2M.
+	// The paper fixes M=16 (Sec. III-C).
+	M int
+	// EfConstruction bounds the candidate list during insertion; the
+	// paper fixes 200.
+	EfConstruction int
+	// Metric is the query distance.
+	Metric vec.Metric
+	// Seed drives level sampling.
+	Seed int64
+	// ScalarQuantize stores int8 codes and evaluates distances over them
+	// (LanceDB's HNSW-SQ).
+	ScalarQuantize bool
+}
+
+// Index is a built HNSW graph.
+type Index struct {
+	cfg      Config
+	data     *vec.Matrix
+	ids      []int32
+	links    [][][]int32 // links[node][level] = neighbour rows
+	levels   []int
+	entry    int32
+	maxLevel int
+	mult     float64
+	cost     index.CostModel
+	scorer   *index.Scorer
+
+	quantizer *sq.Quantizer
+	codes     []byte
+
+	// visitPool recycles visited-set buffers so concurrent searches do not
+	// share traversal state.
+	visitPool sync.Pool
+}
+
+// visitSet is an epoch-stamped visited marker reused across traversals.
+type visitSet struct {
+	stamps []uint32
+	epoch  uint32
+}
+
+func (v *visitSet) next() uint32 {
+	v.epoch++
+	if v.epoch == 0 { // wrapped: clear stale stamps
+		for i := range v.stamps {
+			v.stamps[i] = 0
+		}
+		v.epoch = 1
+	}
+	return v.epoch
+}
+
+// Build inserts every row of data into a fresh graph. ids, when non-nil,
+// maps rows to external ids.
+func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("hnsw: empty data")
+	}
+	if cfg.M <= 0 {
+		cfg.M = 16
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = 200
+	}
+	ix := &Index{
+		cfg:      cfg,
+		data:     data,
+		ids:      ids,
+		links:    make([][][]int32, data.Len()),
+		levels:   make([]int, data.Len()),
+		entry:    -1,
+		maxLevel: -1,
+		mult:     1 / math.Log(float64(cfg.M)),
+		cost:     index.DefaultCostModel(),
+		scorer:   index.NewScorer(data, cfg.Metric),
+	}
+	n := data.Len()
+	ix.visitPool.New = func() interface{} { return &visitSet{stamps: make([]uint32, n)} }
+	if cfg.ScalarQuantize {
+		q, err := sq.Train(data)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: train sq: %w", err)
+		}
+		ix.quantizer = q
+		ix.codes = q.EncodeAll(data)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Pre-sample levels so the batched build stays deterministic.
+	for row := range ix.levels {
+		ix.levels[row] = ix.randomLevel(r)
+	}
+	// Batched construction: candidate searches run in parallel against the
+	// frozen graph, links are applied serially. Batch sizes grow from 1 so
+	// the early graph (where every insertion changes everything) is built
+	// like the sequential algorithm.
+	workers := runtime.GOMAXPROCS(0)
+	lo, batch := 0, 1
+	for lo < n {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		plans := make([][][]index.Neighbor, hi-lo)
+		if hi-lo == 1 || workers == 1 {
+			for i := lo; i < hi; i++ {
+				plans[i-lo] = ix.planInsert(int32(i))
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (hi - lo + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				s, e := lo+w*chunk, lo+(w+1)*chunk
+				if e > hi {
+					e = hi
+				}
+				if s >= e {
+					break
+				}
+				wg.Add(1)
+				go func(s, e int) {
+					defer wg.Done()
+					for i := s; i < e; i++ {
+						plans[i-lo] = ix.planInsert(int32(i))
+					}
+				}(s, e)
+			}
+			wg.Wait()
+		}
+		for i := lo; i < hi; i++ {
+			ix.applyInsert(int32(i), plans[i-lo])
+		}
+		lo = hi
+		if batch < 64 {
+			batch *= 2
+		}
+	}
+	return ix, nil
+}
+
+// planInsert computes, against the frozen graph, the selected neighbours of
+// one row per layer (nil for the very first node).
+func (ix *Index) planInsert(row int32) [][]index.Neighbor {
+	if ix.entry < 0 || ix.entry == row {
+		return nil
+	}
+	level := ix.levels[row]
+	q := ix.rowQuery(row)
+	ep := ix.entry
+	for l := ix.maxLevel; l > level; l-- {
+		ep = ix.greedyClosest(q, ep, l)
+	}
+	top := level
+	if top > ix.maxLevel {
+		top = ix.maxLevel
+	}
+	selected := make([][]index.Neighbor, top+1)
+	eps := []index.Neighbor{{ID: ep, Dist: ix.dist(q, ep)}}
+	for l := top; l >= 0; l-- {
+		found := ix.searchLayer(q, eps, ix.cfg.EfConstruction, l, nil, nil)
+		selected[l] = ix.selectHeuristic(found, ix.cfg.M)
+		eps = found
+	}
+	return selected
+}
+
+// applyInsert links one planned row into the graph.
+func (ix *Index) applyInsert(row int32, selected [][]index.Neighbor) {
+	level := ix.levels[row]
+	ix.links[row] = make([][]int32, level+1)
+	if ix.entry < 0 {
+		ix.entry = row
+		ix.maxLevel = level
+		return
+	}
+	for l := len(selected) - 1; l >= 0; l-- {
+		ix.links[row][l] = make([]int32, 0, len(selected[l]))
+		for _, n := range selected[l] {
+			ix.links[row][l] = append(ix.links[row][l], n.ID)
+			ix.linkBack(n.ID, row, l)
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = row
+	}
+}
+
+// dist computes the index's working distance between a prepared query and a
+// stored row (quantised when the SQ variant is enabled).
+func (ix *Index) dist(q index.QueryScorer, row int32) float32 {
+	if ix.quantizer != nil {
+		return ix.quantizer.DistanceAt(q.Vector(), ix.codes, int(row))
+	}
+	return q.Dist(int(row))
+}
+
+// rowQuery prepares stored row i as a query, reusing its cached norm.
+func (ix *Index) rowQuery(i int32) index.QueryScorer {
+	return ix.scorer.QueryRow(int(i))
+}
+
+// randomLevel samples the insertion level with the standard exponential
+// distribution.
+func (ix *Index) randomLevel(r *rand.Rand) int {
+	return int(-math.Log(1-r.Float64()) * ix.mult)
+}
+
+// maxDegree is the degree cap of a layer.
+func (ix *Index) maxDegree(level int) int {
+	if level == 0 {
+		return 2 * ix.cfg.M
+	}
+	return ix.cfg.M
+}
+
+// linkBack adds a reverse edge from node to target and re-prunes node's
+// neighbour list if it exceeds the layer cap.
+func (ix *Index) linkBack(node, target int32, level int) {
+	nl := append(ix.links[node][level], target)
+	cap := ix.maxDegree(level)
+	if len(nl) <= cap {
+		ix.links[node][level] = nl
+		return
+	}
+	v := ix.rowQuery(node)
+	cands := make([]index.Neighbor, 0, len(nl))
+	for _, nb := range nl {
+		cands = append(cands, index.Neighbor{ID: nb, Dist: ix.dist(v, nb)})
+	}
+	sortNeighbors(cands)
+	pruned := ix.selectHeuristic(cands, cap)
+	out := make([]int32, 0, len(pruned))
+	for _, n := range pruned {
+		out = append(out, n.ID)
+	}
+	ix.links[node][level] = out
+}
+
+// selectHeuristic is HNSW's Algorithm 4: scan candidates closest-first and
+// keep one only if it is closer to the query than to every already-kept
+// neighbour, which spreads edges across directions.
+func (ix *Index) selectHeuristic(cands []index.Neighbor, m int) []index.Neighbor {
+	out := make([]index.Neighbor, 0, m)
+	for _, c := range cands {
+		if len(out) >= m {
+			break
+		}
+		keep := true
+		cv := ix.rowQuery(c.ID)
+		for _, s := range out {
+			if ix.dist(cv, s.ID) < c.Dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	// Backfill with the closest remaining candidates if the heuristic was
+	// too aggressive (keeps graphs connected on clustered data).
+	if len(out) < m {
+		have := make(map[int32]bool, len(out))
+		for _, s := range out {
+			have[s.ID] = true
+		}
+		for _, c := range cands {
+			if len(out) >= m {
+				break
+			}
+			if !have[c.ID] {
+				out = append(out, c)
+				have[c.ID] = true
+			}
+		}
+		sortNeighbors(out)
+	}
+	return out
+}
+
+// greedyClosest walks one layer greedily to the locally closest node.
+func (ix *Index) greedyClosest(q index.QueryScorer, ep int32, level int) int32 {
+	cur := ep
+	curD := ix.dist(q, cur)
+	for {
+		improved := false
+		for _, nb := range ix.neighbors(cur, level) {
+			if d := ix.dist(q, nb); d < curD {
+				cur, curD = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func (ix *Index) neighbors(node int32, level int) []int32 {
+	if level >= len(ix.links[node]) {
+		return nil
+	}
+	return ix.links[node][level]
+}
+
+// searchLayer is HNSW's Algorithm 2: best-first expansion bounded by ef.
+// stats and rec may be nil during construction. It returns the ef closest
+// nodes, ascending by distance.
+func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, level int, stats *index.Stats, rec *index.Profile) []index.Neighbor {
+	vs := ix.visitPool.Get().(*visitSet)
+	defer ix.visitPool.Put(vs)
+	epoch := vs.next()
+	var frontier index.MinHeap
+	var results index.MaxHeap
+	for _, ep := range eps {
+		if vs.stamps[ep.ID] == epoch {
+			continue
+		}
+		vs.stamps[ep.ID] = epoch
+		frontier.Push(ep)
+		results.PushBounded(ep, ef)
+	}
+	for frontier.Len() > 0 {
+		cur := frontier.Pop()
+		if results.Len() >= ef && cur.Dist > results.Peek().Dist {
+			break
+		}
+		nbs := ix.neighbors(cur.ID, level)
+		comps := 0
+		for _, nb := range nbs {
+			if vs.stamps[nb] == epoch {
+				continue
+			}
+			vs.stamps[nb] = epoch
+			d := ix.dist(q, nb)
+			comps++
+			if results.Len() < ef || d < results.Peek().Dist {
+				frontier.Push(index.Neighbor{ID: nb, Dist: d})
+				results.PushBounded(index.Neighbor{ID: nb, Dist: d}, ef)
+			}
+		}
+		if stats != nil {
+			stats.Hops++
+			if ix.quantizer != nil {
+				stats.PQComps += comps
+			} else {
+				stats.DistComps += comps
+			}
+		}
+		rec.AddCPU(ix.cost.Dist(ix.data.Dim, comps) + ix.cost.Heap(comps+2))
+	}
+	return results.SortedAscending()
+}
+
+// Search implements index.Index: greedy descent through upper layers, then
+// an efSearch-bounded layer-0 expansion.
+func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
+	ef := opts.EfSearch
+	if ef < k {
+		ef = k
+	}
+	stats := index.Stats{}
+	rec := opts.Recorder
+	qs := ix.scorer.Query(q)
+	ep := ix.entry
+	epD := ix.dist(qs, ep)
+	stats.DistComps++
+	for l := ix.maxLevel; l >= 1; l-- {
+		for {
+			improved := false
+			for _, nb := range ix.neighbors(ep, l) {
+				d := ix.dist(qs, nb)
+				stats.DistComps++
+				if d < epD {
+					ep, epD = nb, d
+					improved = true
+				}
+			}
+			stats.Hops++
+			if !improved {
+				break
+			}
+		}
+	}
+	rec.AddCPU(ix.cost.Dist(ix.data.Dim, stats.DistComps))
+	found := ix.searchLayer(qs, []index.Neighbor{{ID: ep, Dist: epD}}, ef, 0, &stats, rec)
+	rec.Flush()
+	// Apply filter and map to external ids.
+	out := make([]index.Neighbor, 0, k)
+	for _, n := range found {
+		id := ix.extID(n.ID)
+		if opts.Filter != nil && !opts.Filter(id) {
+			continue
+		}
+		out = append(out, index.Neighbor{ID: id, Dist: n.Dist})
+		if len(out) == k {
+			break
+		}
+	}
+	if ix.quantizer != nil {
+		stats.PQComps += stats.DistComps
+		stats.DistComps = 0
+	}
+	return index.ResultFromNeighbors(out, k, stats)
+}
+
+func (ix *Index) extID(row int32) int32 {
+	if ix.ids != nil {
+		return ix.ids[row]
+	}
+	return row
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string {
+	if ix.cfg.ScalarQuantize {
+		return "HNSW_SQ"
+	}
+	return "HNSW"
+}
+
+// Metric implements index.Index.
+func (ix *Index) Metric() vec.Metric { return ix.cfg.Metric }
+
+// Len implements index.Index.
+func (ix *Index) Len() int { return ix.data.Len() }
+
+// MaxLevel returns the top layer of the graph.
+func (ix *Index) MaxLevel() int { return ix.maxLevel }
+
+// MemoryBytes implements index.SizeReporter.
+func (ix *Index) MemoryBytes() int64 {
+	var linkBytes int64
+	for _, perLevel := range ix.links {
+		for _, l := range perLevel {
+			linkBytes += int64(len(l)) * 4
+		}
+	}
+	vecBytes := int64(ix.data.Len()) * int64(ix.data.Dim) * 4
+	if ix.quantizer != nil {
+		vecBytes = int64(len(ix.codes)) + ix.quantizer.MemoryBytes()
+	}
+	return linkBytes + vecBytes
+}
+
+// StorageBytes implements index.SizeReporter.
+func (ix *Index) StorageBytes() int64 { return 0 }
+
+// Degree returns the out-degree of a node at a level (for tests).
+func (ix *Index) Degree(row int32, level int) int { return len(ix.neighbors(row, level)) }
+
+func sortNeighbors(ns []index.Neighbor) {
+	// Insertion sort: candidate lists are short and mostly sorted.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && lessNeighbor(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func lessNeighbor(a, b index.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+var _ index.Index = (*Index)(nil)
+var _ index.SizeReporter = (*Index)(nil)

@@ -1,0 +1,104 @@
+package hnsw
+
+import (
+	"fmt"
+	"math"
+
+	"svdbench/internal/binenc"
+	"svdbench/internal/index"
+	"svdbench/internal/index/sq"
+	"svdbench/internal/vec"
+)
+
+const persistMagic = "HNSW0001"
+
+// WriteTo serialises the graph structure (links, levels, entry point) and,
+// for the SQ variant, the codec and codes. Vector data is not written: it is
+// re-derivable from the dataset and supplied again at load time.
+func (ix *Index) WriteTo(w *binenc.Writer) {
+	w.Magic(persistMagic)
+	w.Int(ix.cfg.M)
+	w.Int(ix.cfg.EfConstruction)
+	w.Int(int(ix.cfg.Metric))
+	w.I64(ix.cfg.Seed)
+	quantized := 0
+	if ix.cfg.ScalarQuantize {
+		quantized = 1
+	}
+	w.Int(quantized)
+	w.Int(ix.data.Len())
+	w.Ints(ix.levels)
+	w.I32(ix.entry)
+	w.Int(ix.maxLevel)
+	for _, perLevel := range ix.links {
+		w.Int(len(perLevel))
+		for _, l := range perLevel {
+			w.I32s(l)
+		}
+	}
+	if ix.cfg.ScalarQuantize {
+		ix.quantizer.WriteTo(w)
+		w.Bytes(ix.codes)
+	}
+}
+
+// ReadFrom deserialises an index written with WriteTo, re-binding it to the
+// vector data (and optional external ids) it was built over.
+func ReadFrom(r *binenc.Reader, data *vec.Matrix, ids []int32) (*Index, error) {
+	r.Magic(persistMagic)
+	cfg := Config{
+		M:              r.Int(),
+		EfConstruction: r.Int(),
+		Metric:         vec.Metric(r.Int()),
+		Seed:           r.I64(),
+	}
+	cfg.ScalarQuantize = r.Int() == 1
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n != data.Len() {
+		return nil, fmt.Errorf("hnsw: persisted index has %d nodes, data has %d", n, data.Len())
+	}
+	ix := &Index{
+		cfg:    cfg,
+		data:   data,
+		ids:    ids,
+		levels: r.Ints(),
+		entry:  r.I32(),
+		cost:   index.DefaultCostModel(),
+		scorer: index.NewScorer(data, cfg.Metric),
+	}
+	ix.maxLevel = r.Int()
+	ix.mult = 1 / math.Log(float64(cfg.M))
+	ix.links = make([][][]int32, n)
+	for i := 0; i < n; i++ {
+		nl := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if nl < 0 || nl > 64 {
+			return nil, fmt.Errorf("hnsw: node %d has %d levels", i, nl)
+		}
+		ix.links[i] = make([][]int32, nl)
+		for l := 0; l < nl; l++ {
+			ix.links[i][l] = r.I32s()
+		}
+	}
+	if cfg.ScalarQuantize {
+		q, err := sq.ReadQuantizer(r)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: %w", err)
+		}
+		ix.quantizer = q
+		ix.codes = r.Bytes()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if len(ix.levels) != n || int(ix.entry) >= n {
+		return nil, fmt.Errorf("hnsw: corrupt persisted index")
+	}
+	ix.visitPool.New = func() interface{} { return &visitSet{stamps: make([]uint32, n)} }
+	return ix, nil
+}

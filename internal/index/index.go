@@ -1,0 +1,219 @@
+// Package index defines the machinery shared by every vector index in the
+// benchmark: the Index interface, search options, result types, the CPU cost
+// model that converts counted work into virtual time, and the execution
+// profile recorder used by the record-then-replay harness.
+//
+// Indexes run their real algorithms on real data (so recall numbers are
+// genuine) while recording, per query, the alternating compute/I/O steps
+// that the discrete-event simulation later replays under load.
+package index
+
+import (
+	"errors"
+	"time"
+
+	"svdbench/internal/vec"
+)
+
+// ErrNotSupported is returned when an index cannot satisfy a request (for
+// example deletion on an immutable index).
+var ErrNotSupported = errors.New("index: operation not supported")
+
+// SearchOptions carries the search-time parameters of all index families;
+// each index reads the fields it understands (the paper's Table II maps the
+// fields to indexes: NProbe for IVF, EfSearch for HNSW, SearchList and
+// BeamWidth for DiskANN).
+type SearchOptions struct {
+	// NProbe is the number of candidate clusters an IVF search scans.
+	NProbe int
+	// EfSearch is HNSW's dynamic candidate list size.
+	EfSearch int
+	// SearchList is DiskANN's candidate list size (L).
+	SearchList int
+	// BeamWidth is DiskANN's beam width (W): frontier nodes fetched from
+	// storage per search iteration.
+	BeamWidth int
+	// Filter restricts results to ids for which it returns true (nil
+	// means no filtering). Implements the filtered-search extension.
+	Filter func(id int32) bool
+	// Recorder, when non-nil, receives the query's execution profile.
+	Recorder *Profile
+}
+
+// Result is a completed search: ids ordered closest-first with their
+// distances, plus counted work.
+type Result struct {
+	IDs   []int32
+	Dists []float32
+	Stats Stats
+}
+
+// Stats counts the work one search performed.
+type Stats struct {
+	// DistComps is the number of full-precision distance computations.
+	DistComps int
+	// PQComps is the number of compressed (PQ/SQ) distance computations.
+	PQComps int
+	// Hops is the number of graph expansion iterations (graph indexes).
+	Hops int
+	// PagesRead is the number of 4 KiB pages fetched from storage.
+	PagesRead int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.DistComps += other.DistComps
+	s.PQComps += other.PQComps
+	s.Hops += other.Hops
+	s.PagesRead += other.PagesRead
+}
+
+// Index is a built vector index ready to answer k-NN queries.
+type Index interface {
+	// Name identifies the index family ("IVF_FLAT", "HNSW", "DISKANN", ...).
+	Name() string
+	// Metric returns the distance metric the index was built with.
+	Metric() vec.Metric
+	// Len returns the number of indexed vectors.
+	Len() int
+	// Search returns the approximate k nearest neighbours of q.
+	Search(q []float32, k int, opts SearchOptions) Result
+}
+
+// SizeReporter is implemented by indexes that can report their memory and
+// storage footprints (for the paper's memory-cost discussion).
+type SizeReporter interface {
+	// MemoryBytes is the resident main-memory footprint.
+	MemoryBytes() int64
+	// StorageBytes is the on-SSD footprint (zero for memory-only indexes).
+	StorageBytes() int64
+}
+
+// CostModel converts counted algorithmic work into virtual CPU time. Costs
+// are expressed in picoseconds because SIMD kernels spend well under a
+// nanosecond per dimension; the defaults approximate one core of the paper's
+// Xeon Silver 4416+.
+type CostModel struct {
+	// DistFixedPs is the fixed overhead of one full-precision distance.
+	DistFixedPs int64
+	// DistPerDimPs is the per-dimension cost of one full-precision
+	// distance.
+	DistPerDimPs int64
+	// PQFixedPs and PQPerSubPs cost one asymmetric PQ distance with m
+	// sub-quantizer table lookups.
+	PQFixedPs  int64
+	PQPerSubPs int64
+	// HeapOpPs is the bookkeeping cost per candidate push/pop.
+	HeapOpPs int64
+}
+
+// DefaultCostModel is the calibration used by all experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DistFixedPs:  40_000,
+		DistPerDimPs: 250,
+		PQFixedPs:    20_000,
+		PQPerSubPs:   900,
+		HeapOpPs:     25_000,
+	}
+}
+
+// Dist returns the virtual time of n full-precision distance computations at
+// the given dimensionality.
+func (c CostModel) Dist(dim, n int) time.Duration {
+	return time.Duration((c.DistFixedPs + int64(dim)*c.DistPerDimPs) * int64(n) / 1000)
+}
+
+// PQ returns the virtual time of n PQ distance computations with m
+// sub-quantizers.
+func (c CostModel) PQ(m, n int) time.Duration {
+	return time.Duration((c.PQFixedPs + int64(m)*c.PQPerSubPs) * int64(n) / 1000)
+}
+
+// Heap returns the virtual time of n heap operations.
+func (c CostModel) Heap(n int) time.Duration {
+	return time.Duration(c.HeapOpPs * int64(n) / 1000)
+}
+
+// Step is one stage of a query's execution: a CPU burst followed by a batch
+// of page reads (the batch is empty for pure-compute steps). Graph
+// traversals produce one step per hop with the beam's pages issued in
+// parallel; cluster scans produce one step per probed cluster with the
+// posting's pages read as a single contiguous request.
+type Step struct {
+	CPU   time.Duration
+	Pages []int64
+	// Contiguous marks the page batch as one sequential multi-page read
+	// (a posting list) rather than parallel random reads (a beam).
+	Contiguous bool
+}
+
+// Profile is the recorded execution of one query against one index: the
+// replay harness walks the steps in order, charging CPU and issuing I/O
+// inside the simulation.
+type Profile struct {
+	Steps []Step
+	// pending accumulates CPU cost not yet flushed into a step.
+	pending time.Duration
+}
+
+// AddCPU accumulates compute time into the current (unflushed) step.
+func (p *Profile) AddCPU(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.pending += d
+}
+
+// AddIO flushes the pending compute plus the given parallel page batch as
+// one step.
+func (p *Profile) AddIO(pages []int64) {
+	if p == nil {
+		return
+	}
+	cp := make([]int64, len(pages))
+	copy(cp, pages)
+	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp})
+	p.pending = 0
+}
+
+// AddContiguousIO flushes the pending compute plus one sequential
+// multi-page read as one step.
+func (p *Profile) AddContiguousIO(pages []int64) {
+	if p == nil {
+		return
+	}
+	cp := make([]int64, len(pages))
+	copy(cp, pages)
+	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, Contiguous: true})
+	p.pending = 0
+}
+
+// Flush closes the profile, emitting any pending compute as a final step.
+func (p *Profile) Flush() {
+	if p == nil {
+		return
+	}
+	if p.pending > 0 {
+		p.Steps = append(p.Steps, Step{CPU: p.pending})
+		p.pending = 0
+	}
+}
+
+// TotalCPU sums the compute time across steps.
+func (p *Profile) TotalCPU() time.Duration {
+	var d time.Duration
+	for _, s := range p.Steps {
+		d += s.CPU
+	}
+	return d + p.pending
+}
+
+// TotalPages counts the pages read across steps.
+func (p *Profile) TotalPages() int {
+	n := 0
+	for _, s := range p.Steps {
+		n += len(s.Pages)
+	}
+	return n
+}

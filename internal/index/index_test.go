@@ -1,0 +1,238 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCostModelArithmetic(t *testing.T) {
+	c := DefaultCostModel()
+	one := c.Dist(768, 1)
+	want := time.Duration((c.DistFixedPs + 768*c.DistPerDimPs) / 1000)
+	if one != want {
+		t.Errorf("Dist(768,1) = %v, want %v", one, want)
+	}
+	if one < 200*time.Nanosecond || one > 300*time.Nanosecond {
+		t.Errorf("768-d distance costs %v, expected a few hundred ns", one)
+	}
+	if got := c.Dist(768, 1000); got < 999*one || got > 1001*one {
+		t.Errorf("Dist not ~linear in count: %v vs 1000×%v", got, one)
+	}
+	if c.PQ(96, 1) <= 0 || c.PQ(96, 2) < c.PQ(96, 1) {
+		t.Error("PQ cost not increasing")
+	}
+	if c.Heap(4) != 4*time.Duration(c.HeapOpPs)/1000 {
+		t.Error("Heap cost wrong")
+	}
+}
+
+func TestProfileRecording(t *testing.T) {
+	var p Profile
+	p.AddCPU(100 * time.Nanosecond)
+	p.AddIO([]int64{1, 2})
+	p.AddCPU(50 * time.Nanosecond)
+	p.Flush()
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(p.Steps))
+	}
+	if p.Steps[0].CPU != 100*time.Nanosecond || len(p.Steps[0].Pages) != 2 {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1].CPU != 50*time.Nanosecond || len(p.Steps[1].Pages) != 0 {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+	if p.TotalCPU() != 150*time.Nanosecond {
+		t.Errorf("total CPU = %v", p.TotalCPU())
+	}
+	if p.TotalPages() != 2 {
+		t.Errorf("total pages = %d", p.TotalPages())
+	}
+}
+
+func TestProfileNilSafe(t *testing.T) {
+	var p *Profile
+	p.AddCPU(time.Nanosecond) // must not panic
+	p.AddIO([]int64{1})
+	p.Flush()
+}
+
+func TestProfileIOCopiesPages(t *testing.T) {
+	var p Profile
+	pages := []int64{1, 2, 3}
+	p.AddIO(pages)
+	pages[0] = 99
+	if p.Steps[0].Pages[0] != 1 {
+		t.Error("AddIO must copy the page slice")
+	}
+}
+
+func TestProfileFlushEmptyNoStep(t *testing.T) {
+	var p Profile
+	p.Flush()
+	if len(p.Steps) != 0 {
+		t.Error("flush of empty profile added a step")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{DistComps: 1, PQComps: 2, Hops: 3, PagesRead: 4}
+	a.Add(Stats{DistComps: 10, PQComps: 20, Hops: 30, PagesRead: 40})
+	if a != (Stats{11, 22, 33, 44}) {
+		t.Errorf("stats add = %+v", a)
+	}
+}
+
+func TestMinHeapOrdering(t *testing.T) {
+	var h MinHeap
+	for _, d := range []float32{5, 1, 3, 2, 4} {
+		h.Push(Neighbor{ID: int32(d), Dist: d})
+	}
+	for want := float32(1); want <= 5; want++ {
+		if got := h.Pop().Dist; got != want {
+			t.Fatalf("pop = %v, want %v", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Error("heap not empty")
+	}
+}
+
+func TestMaxHeapOrdering(t *testing.T) {
+	var h MaxHeap
+	for _, d := range []float32{5, 1, 3, 2, 4} {
+		h.Push(Neighbor{ID: int32(d), Dist: d})
+	}
+	for want := float32(5); want >= 1; want-- {
+		if got := h.Pop().Dist; got != want {
+			t.Fatalf("pop = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapTieBreakByID(t *testing.T) {
+	var h MinHeap
+	h.Push(Neighbor{ID: 7, Dist: 1})
+	h.Push(Neighbor{ID: 3, Dist: 1})
+	if h.Pop().ID != 3 {
+		t.Error("min-heap tie must pop lower id first")
+	}
+	var m MaxHeap
+	m.Push(Neighbor{ID: 7, Dist: 1})
+	m.Push(Neighbor{ID: 3, Dist: 1})
+	if m.Pop().ID != 7 {
+		t.Error("max-heap tie must pop higher id first")
+	}
+}
+
+func TestPushBounded(t *testing.T) {
+	var h MaxHeap
+	for d := float32(1); d <= 5; d++ {
+		h.PushBounded(Neighbor{ID: int32(d), Dist: d}, 3)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("len = %d, want 3", h.Len())
+	}
+	if h.Peek().Dist != 3 {
+		t.Errorf("worst kept = %v, want 3", h.Peek().Dist)
+	}
+	if h.PushBounded(Neighbor{ID: 99, Dist: 100}, 3) {
+		t.Error("worse candidate accepted into full heap")
+	}
+	if !h.PushBounded(Neighbor{ID: 0, Dist: 0.5}, 3) {
+		t.Error("better candidate rejected")
+	}
+}
+
+func TestSortedAscending(t *testing.T) {
+	var h MaxHeap
+	for _, d := range []float32{3, 1, 2} {
+		h.Push(Neighbor{ID: int32(d), Dist: d})
+	}
+	out := h.SortedAscending()
+	if len(out) != 3 || out[0].Dist != 1 || out[2].Dist != 3 {
+		t.Errorf("sorted = %v", out)
+	}
+}
+
+// Property: MinHeap pops in globally sorted order for random inputs.
+func TestPropertyMinHeapSortsRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		var h MinHeap
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = r.Float32()
+			h.Push(Neighbor{ID: int32(i), Dist: vals[i]})
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, want := range vals {
+			if h.Pop().Dist != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PushBounded keeps exactly the k smallest distances.
+func TestPropertyPushBoundedKeepsKSmallest(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(100)
+		k := 1 + r.Intn(5)
+		var h MaxHeap
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = r.Float32()
+			h.PushBounded(Neighbor{ID: int32(i), Dist: vals[i]}, k)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		got := h.SortedAscending()
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i].Dist != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultFromNeighbors(t *testing.T) {
+	ns := []Neighbor{{1, 0.1}, {2, 0.2}, {3, 0.3}}
+	r := ResultFromNeighbors(ns, 2, Stats{DistComps: 9})
+	if len(r.IDs) != 2 || r.IDs[0] != 1 || r.Dists[1] != 0.2 || r.Stats.DistComps != 9 {
+		t.Errorf("result = %+v", r)
+	}
+	r = ResultFromNeighbors(ns, 10, Stats{})
+	if len(r.IDs) != 3 {
+		t.Errorf("overlong k not clamped: %d", len(r.IDs))
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	var h MinHeap
+	h.Push(Neighbor{1, 1})
+	h.Reset()
+	if h.Len() != 0 {
+		t.Error("reset failed")
+	}
+	var m MaxHeap
+	m.Push(Neighbor{1, 1})
+	m.Reset()
+	if m.Len() != 0 {
+		t.Error("reset failed")
+	}
+}

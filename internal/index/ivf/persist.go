@@ -1,0 +1,105 @@
+package ivf
+
+import (
+	"fmt"
+
+	"svdbench/internal/binenc"
+	"svdbench/internal/index"
+	"svdbench/internal/index/pq"
+	"svdbench/internal/vec"
+)
+
+const persistMagic = "IVFX0001"
+
+// WriteTo serialises the centroids, posting lists, and (for the PQ variant)
+// the codec and codes. Full-precision vectors are re-supplied at load time.
+func (ix *Index) WriteTo(w *binenc.Writer) {
+	w.Magic(persistMagic)
+	w.Int(ix.cfg.NList)
+	w.Int(int(ix.cfg.Metric))
+	w.I64(ix.cfg.Seed)
+	pqFlag := 0
+	if ix.cfg.PQ {
+		pqFlag = 1
+	}
+	w.Int(pqFlag)
+	w.Int(ix.cfg.PQM)
+	w.Int(ix.cfg.PageSize)
+	w.Int(ix.data.Len())
+	w.Int(ix.centroids.Dim)
+	w.F32s(ix.centroids.Raw())
+	w.Int(len(ix.lists))
+	for _, list := range ix.lists {
+		w.I32s(list)
+	}
+	if ix.cfg.PQ {
+		ix.quantizer.WriteTo(w)
+		w.Bytes(ix.codes)
+	}
+}
+
+// ReadFrom deserialises an index written with WriteTo, re-binding it to its
+// vector data (and optional external ids).
+func ReadFrom(r *binenc.Reader, data *vec.Matrix, ids []int32) (*Index, error) {
+	r.Magic(persistMagic)
+	cfg := Config{
+		NList:  r.Int(),
+		Metric: vec.Metric(r.Int()),
+		Seed:   r.I64(),
+	}
+	cfg.PQ = r.Int() == 1
+	cfg.PQM = r.Int()
+	cfg.PageSize = r.Int()
+	n := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n != data.Len() {
+		return nil, fmt.Errorf("ivf: persisted index has %d rows, data has %d", n, data.Len())
+	}
+	cdim := r.Int()
+	raw := r.F32s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if cdim <= 0 || len(raw)%cdim != 0 {
+		return nil, fmt.Errorf("ivf: corrupt centroid block")
+	}
+	centroids := vec.NewMatrix(len(raw)/cdim, cdim)
+	copy(centroids.Raw(), raw)
+	ix := &Index{
+		cfg:       cfg,
+		data:      data,
+		ids:       ids,
+		centroids: centroids,
+		cost:      index.DefaultCostModel(),
+	}
+	nlists := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if nlists != centroids.Len() {
+		return nil, fmt.Errorf("ivf: %d lists for %d centroids", nlists, centroids.Len())
+	}
+	ix.lists = make([][]int32, nlists)
+	total := 0
+	for c := 0; c < nlists; c++ {
+		ix.lists[c] = r.I32s()
+		total += len(ix.lists[c])
+	}
+	if cfg.PQ {
+		q, err := pq.ReadQuantizer(r)
+		if err != nil {
+			return nil, fmt.Errorf("ivf: %w", err)
+		}
+		ix.quantizer = q
+		ix.codes = r.Bytes()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if total != n {
+		return nil, fmt.Errorf("ivf: lists cover %d rows, want %d", total, n)
+	}
+	return ix, nil
+}

@@ -1,0 +1,70 @@
+package ivf
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"svdbench/internal/binenc"
+	"svdbench/internal/index"
+	"svdbench/internal/vec"
+)
+
+func persistRoundTrip(t *testing.T, cfg Config) {
+	t.Helper()
+	ds := testData(t)
+	cfg.Metric = ds.Spec.Metric
+	cfg.Seed = 1
+	orig, err := Build(ds.Vectors, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(binenc.NewReader(&buf), ds.Vectors, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NList() != orig.NList() {
+		t.Errorf("nlist %d vs %d", got.NList(), orig.NList())
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := ds.Queries.Row(qi)
+		a := orig.Search(q, 10, index.SearchOptions{NProbe: 8})
+		b := got.Search(q, 10, index.SearchOptions{NProbe: 8})
+		if !reflect.DeepEqual(a.IDs, b.IDs) {
+			t.Fatalf("query %d: %v vs %v", qi, a.IDs, b.IDs)
+		}
+	}
+}
+
+func TestPersistRoundTripFlat(t *testing.T) {
+	persistRoundTrip(t, Config{})
+}
+
+func TestPersistRoundTripPQ(t *testing.T) {
+	persistRoundTrip(t, Config{PQ: true, PQM: 8})
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	r := binenc.NewReader(bytes.NewReader([]byte("IVFXGARBAGEGARBAGE")))
+	if _, err := ReadFrom(r, vec.NewMatrix(1, 4), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPersistRejectsWrongData(t *testing.T) {
+	ds := testData(t)
+	orig, _ := Build(ds.Vectors, nil, Config{Metric: ds.Spec.Metric, Seed: 1})
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	w.Flush()
+	if _, err := ReadFrom(binenc.NewReader(&buf), vec.NewMatrix(3, 32), nil); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}

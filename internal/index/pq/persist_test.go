@@ -1,0 +1,59 @@
+package pq
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"svdbench/internal/binenc"
+)
+
+func TestQuantizerPersistRoundTrip(t *testing.T) {
+	m := randMatrix(400, 32, 77)
+	orig, err := Train(m, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuantizer(binenc.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != orig.M() || got.Dim() != orig.Dim() {
+		t.Errorf("shape mismatch: %d/%d vs %d/%d", got.M(), got.Dim(), orig.M(), orig.Dim())
+	}
+	for i := 0; i < 20; i++ {
+		a, b := orig.Encode(m.Row(i)), got.Encode(m.Row(i))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("row %d codes differ after round trip", i)
+		}
+	}
+	// ADC tables must be identical.
+	ta := orig.BuildTable(m.Row(0))
+	tb := got.BuildTable(m.Row(0))
+	if !reflect.DeepEqual(ta, tb) {
+		t.Error("ADC tables differ after round trip")
+	}
+}
+
+func TestReadQuantizerRejectsGarbage(t *testing.T) {
+	if _, err := ReadQuantizer(binenc.NewReader(bytes.NewReader([]byte("nope")))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Header with inconsistent dims.
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	w.Int(16) // dim
+	w.Int(3)  // m (16 % 3 != 0 → dim != m*subDim)
+	w.Int(4)  // subDim
+	w.Int(10) // ksub
+	w.Flush()
+	if _, err := ReadQuantizer(binenc.NewReader(&buf)); err == nil {
+		t.Error("inconsistent header accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package pq implements product quantisation (Jégou et al., TPAMI 2011), the
+// compression codec DiskANN keeps in memory to steer its graph traversal and
+// LanceDB applies to its IVF posting lists.
+//
+// A d-dimensional vector is split into M contiguous sub-vectors; each
+// sub-vector is quantised to one of 256 centroids learned with k-means,
+// giving an M-byte code. Asymmetric distance computation (ADC) against a
+// query builds one 256-entry lookup table per sub-space and then scores any
+// code with M table lookups.
+package pq
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svdbench/internal/index/kmeans"
+	"svdbench/internal/vec"
+)
+
+// Codebook size per sub-space; one code byte indexes it.
+const centroidsPerSub = 256
+
+// Quantizer is a trained product quantiser.
+type Quantizer struct {
+	dim    int
+	m      int // sub-quantizer count
+	subDim int
+	ksub   int // centroids per sub-space (256, or fewer for tiny training sets)
+	// codebooks[s] is the ksub×subDim centroid matrix of sub-space s.
+	codebooks []*vec.Matrix
+}
+
+// Train learns a quantiser with m sub-spaces from the training rows. dim
+// must be divisible by m.
+func Train(training *vec.Matrix, m int, seed int64) (*Quantizer, error) {
+	dim := training.Dim
+	if m <= 0 || dim%m != 0 {
+		return nil, fmt.Errorf("pq: dim %d not divisible by m %d", dim, m)
+	}
+	if training.Len() == 0 {
+		return nil, fmt.Errorf("pq: empty training set")
+	}
+	subDim := dim / m
+	q := &Quantizer{dim: dim, m: m, subDim: subDim, codebooks: make([]*vec.Matrix, m)}
+	n := training.Len()
+	// Cap the k-means training sample to keep construction tractable.
+	sample := n
+	if sample > 20_000 {
+		sample = 20_000
+	}
+	r := rand.New(rand.NewSource(seed))
+	idx := r.Perm(n)[:sample]
+	for s := 0; s < m; s++ {
+		sub := vec.NewMatrix(sample, subDim)
+		for i, row := range idx {
+			copy(sub.Row(i), training.Row(row)[s*subDim:(s+1)*subDim])
+		}
+		res := kmeans.Run(sub, kmeans.Config{K: centroidsPerSub, MaxIter: 8, Seed: seed + int64(s)})
+		q.codebooks[s] = res.Centroids
+	}
+	q.ksub = q.codebooks[0].Len()
+	return q, nil
+}
+
+// M returns the number of sub-quantizers (bytes per code).
+func (q *Quantizer) M() int { return q.m }
+
+// Dim returns the vector dimensionality the quantiser was trained for.
+func (q *Quantizer) Dim() int { return q.dim }
+
+// Encode quantises v into an m-byte code.
+func (q *Quantizer) Encode(v []float32) []byte {
+	if len(v) != q.dim {
+		panic(fmt.Sprintf("pq: encode dim %d, want %d", len(v), q.dim))
+	}
+	code := make([]byte, q.m)
+	for s := 0; s < q.m; s++ {
+		sub := v[s*q.subDim : (s+1)*q.subDim]
+		code[s] = byte(kmeans.Nearest(q.codebooks[s], sub))
+	}
+	return code
+}
+
+// EncodeAll quantises every row of data into a packed n×m code array.
+func (q *Quantizer) EncodeAll(data *vec.Matrix) []byte {
+	n := data.Len()
+	codes := make([]byte, n*q.m)
+	for i := 0; i < n; i++ {
+		copy(codes[i*q.m:], q.Encode(data.Row(i)))
+	}
+	return codes
+}
+
+// Decode reconstructs the approximate vector of a code.
+func (q *Quantizer) Decode(code []byte) []float32 {
+	v := make([]float32, q.dim)
+	for s := 0; s < q.m; s++ {
+		copy(v[s*q.subDim:(s+1)*q.subDim], q.codebooks[s].Row(int(code[s])))
+	}
+	return v
+}
+
+// Table is a per-query ADC lookup table: Table[s*256+c] is the squared
+// distance between the query's sub-vector s and centroid c.
+type Table []float32
+
+// BuildTable computes the ADC table for query under squared Euclidean
+// distance. (Cosine queries must be normalised first; squared Euclidean on
+// normalised vectors ranks identically to cosine distance.)
+func (q *Quantizer) BuildTable(query []float32) Table {
+	if len(query) != q.dim {
+		panic(fmt.Sprintf("pq: table dim %d, want %d", len(query), q.dim))
+	}
+	t := make(Table, q.m*centroidsPerSub)
+	for s := 0; s < q.m; s++ {
+		sub := query[s*q.subDim : (s+1)*q.subDim]
+		cb := q.codebooks[s]
+		base := s * centroidsPerSub
+		for c := 0; c < q.ksub; c++ {
+			t[base+c] = vec.L2Sq(sub, cb.Row(c))
+		}
+	}
+	return t
+}
+
+// Distance scores one code against the table: the sum of M lookups.
+func (t Table) Distance(code []byte) float32 {
+	var d float32
+	for s, c := range code {
+		d += t[s*centroidsPerSub+int(c)]
+	}
+	return d
+}
+
+// DistanceAt scores code i inside a packed code array with stride m.
+func (t Table) DistanceAt(codes []byte, m, i int) float32 {
+	return t.Distance(codes[i*m : (i+1)*m])
+}
+
+// MemoryBytes reports the quantiser's codebook footprint.
+func (q *Quantizer) MemoryBytes() int64 {
+	return int64(q.m) * int64(q.ksub) * int64(q.subDim) * 4
+}

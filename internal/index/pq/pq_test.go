@@ -1,0 +1,155 @@
+package pq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svdbench/internal/vec"
+)
+
+func randMatrix(n, dim int, seed int64) *vec.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(r.NormFloat64())
+		}
+		vec.Normalize(row)
+	}
+	return m
+}
+
+func TestTrainRejectsBadArgs(t *testing.T) {
+	m := randMatrix(10, 16, 1)
+	if _, err := Train(m, 5, 1); err == nil {
+		t.Error("dim 16 with m=5 accepted")
+	}
+	if _, err := Train(vec.NewMatrix(0, 16), 4, 1); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestEncodeDecodeReducesError(t *testing.T) {
+	m := randMatrix(800, 32, 2)
+	q, err := Train(m, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error must be far below the vector norm (≈1).
+	var errSum float64
+	for i := 0; i < 100; i++ {
+		v := m.Row(i)
+		rec := q.Decode(q.Encode(v))
+		errSum += math.Sqrt(float64(vec.L2Sq(v, rec)))
+	}
+	mean := errSum / 100
+	if mean > 0.6 {
+		t.Errorf("mean reconstruction error %.3f too high", mean)
+	}
+}
+
+func TestCodeShape(t *testing.T) {
+	m := randMatrix(300, 16, 3)
+	q, _ := Train(m, 4, 1)
+	code := q.Encode(m.Row(0))
+	if len(code) != 4 {
+		t.Errorf("code length = %d, want 4", len(code))
+	}
+	all := q.EncodeAll(m)
+	if len(all) != 300*4 {
+		t.Errorf("EncodeAll length = %d", len(all))
+	}
+	if q.M() != 4 || q.Dim() != 16 {
+		t.Errorf("M=%d Dim=%d", q.M(), q.Dim())
+	}
+}
+
+func TestADCMatchesDecodedDistance(t *testing.T) {
+	m := randMatrix(400, 24, 4)
+	q, _ := Train(m, 6, 1)
+	query := m.Row(0)
+	table := q.BuildTable(query)
+	for i := 10; i < 20; i++ {
+		code := q.Encode(m.Row(i))
+		adc := table.Distance(code)
+		exact := vec.L2Sq(query, q.Decode(code))
+		if math.Abs(float64(adc-exact)) > 1e-3 {
+			t.Fatalf("row %d: ADC %v vs decoded %v", i, adc, exact)
+		}
+	}
+}
+
+func TestDistanceAtMatchesDistance(t *testing.T) {
+	m := randMatrix(100, 16, 5)
+	q, _ := Train(m, 4, 1)
+	codes := q.EncodeAll(m)
+	table := q.BuildTable(m.Row(0))
+	for i := 0; i < 10; i++ {
+		a := table.DistanceAt(codes, q.M(), i)
+		b := table.Distance(codes[i*q.M() : (i+1)*q.M()])
+		if a != b {
+			t.Fatalf("row %d: DistanceAt %v vs Distance %v", i, a, b)
+		}
+	}
+}
+
+// Property: ADC distance correlates with true distance well enough that the
+// nearest of {near duplicate, random far vector} is always ranked first.
+func TestPropertyADCRanksNearVsFar(t *testing.T) {
+	m := randMatrix(600, 32, 6)
+	q, _ := Train(m, 8, 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := m.Row(r.Intn(m.Len()))
+		near := vec.Clone(base)
+		for j := range near {
+			near[j] += float32(r.NormFloat64() * 0.01)
+		}
+		far := make([]float32, len(base))
+		for j := range far {
+			far[j] = float32(r.NormFloat64())
+		}
+		vec.Normalize(far)
+		table := q.BuildTable(base)
+		return table.Distance(q.Encode(near)) < table.Distance(q.Encode(far))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	m := randMatrix(200, 16, 7)
+	a, _ := Train(m, 4, 42)
+	b, _ := Train(m, 4, 42)
+	va := a.Encode(m.Row(5))
+	vb := b.Encode(m.Row(5))
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("same seed produced different codes")
+		}
+	}
+}
+
+func TestEncodePanicsOnWrongDim(t *testing.T) {
+	m := randMatrix(100, 16, 8)
+	q, _ := Train(m, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong dim")
+		}
+	}()
+	q.Encode(make([]float32, 8))
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := randMatrix(400, 16, 9)
+	q, _ := Train(m, 4, 1)
+	want := int64(4) * 256 * 4 * 4 // m × 256 × subDim × sizeof(float32)
+	if q.MemoryBytes() != want {
+		t.Errorf("memory = %d, want %d", q.MemoryBytes(), want)
+	}
+}

@@ -1,0 +1,105 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svdbench/internal/vec"
+)
+
+func randMatrix(n, dim int, seed int64) *vec.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(r.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: the scorer matches vec.Distance for every metric.
+func TestPropertyScorerMatchesVecDistance(t *testing.T) {
+	m := randMatrix(50, 24, 1)
+	for _, metric := range []vec.Metric{vec.L2, vec.IP, vec.Cosine} {
+		s := NewScorer(m, metric)
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			q := make([]float32, 24)
+			for j := range q {
+				q[j] = float32(r.NormFloat64())
+			}
+			qs := s.Query(q)
+			i := r.Intn(m.Len())
+			got := float64(qs.Dist(i))
+			want := float64(vec.Distance(metric, q, m.Row(i)))
+			return math.Abs(got-want) <= 1e-4*(1+math.Abs(want))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", metric, err)
+		}
+	}
+}
+
+func TestQueryRowUsesCachedNorm(t *testing.T) {
+	m := randMatrix(10, 8, 2)
+	s := NewScorer(m, vec.Cosine)
+	for i := 0; i < 10; i++ {
+		qs := s.QueryRow(i)
+		if d := qs.Dist(i); math.Abs(float64(d)) > 1e-5 {
+			t.Errorf("self cosine distance of row %d = %v", i, d)
+		}
+	}
+}
+
+func TestRowDistSymmetric(t *testing.T) {
+	m := randMatrix(20, 8, 3)
+	s := NewScorer(m, vec.Cosine)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			a, b := s.RowDist(i, j), s.RowDist(j, i)
+			if math.Abs(float64(a-b)) > 1e-5 {
+				t.Fatalf("RowDist(%d,%d)=%v != RowDist(%d,%d)=%v", i, j, a, j, i, b)
+			}
+		}
+	}
+}
+
+func TestScorerZeroVectorCosine(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0, 0}, {1, 0}})
+	s := NewScorer(m, vec.Cosine)
+	qs := s.Query([]float32{1, 0})
+	if d := qs.Dist(0); d != 1 {
+		t.Errorf("distance to zero vector = %v, want 1", d)
+	}
+	zq := s.Query([]float32{0, 0})
+	if d := zq.Dist(1); d != 1 {
+		t.Errorf("zero query distance = %v, want 1", d)
+	}
+}
+
+func TestScorerVector(t *testing.T) {
+	m := randMatrix(3, 4, 4)
+	s := NewScorer(m, vec.L2)
+	q := []float32{1, 2, 3, 4}
+	if got := s.Query(q).Vector(); &got[0] != &q[0] {
+		t.Error("Vector() must alias the query")
+	}
+	if s.Metric() != vec.L2 {
+		t.Error("metric accessor wrong")
+	}
+}
+
+func TestScorerUnknownMetricPanics(t *testing.T) {
+	m := randMatrix(3, 4, 5)
+	s := NewScorer(m, vec.Metric(99))
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown metric")
+		}
+	}()
+	s.Query(make([]float32, 4)).Dist(0)
+}

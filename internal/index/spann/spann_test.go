@@ -1,0 +1,161 @@
+package spann
+
+import (
+	"testing"
+
+	"svdbench/internal/dataset"
+	"svdbench/internal/index"
+	"svdbench/internal/vec"
+)
+
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Generate(dataset.Spec{
+		Name: "spann-test", N: 2000, Dim: 32, NumQueries: 40,
+		Clusters: 16, Seed: 13, Metric: vec.Cosine, GroundK: 10,
+	})
+}
+
+func build(t *testing.T, ds *dataset.Dataset, cfg Config) *Index {
+	t.Helper()
+	cfg.Metric = ds.Spec.Metric
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ix, err := Build(ds.Vectors, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next int64
+	ix.AssignPages(func(n int64) int64 { p := next; next += n; return p })
+	return ix
+}
+
+func searchAll(ds *dataset.Dataset, ix *Index, k, nprobe int) [][]int32 {
+	out := make([][]int32, ds.Queries.Len())
+	for qi := range out {
+		out[qi] = ix.Search(ds.Queries.Row(qi), k, index.SearchOptions{NProbe: nprobe}).IDs
+	}
+	return out
+}
+
+func TestRecallReasonable(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	r := dataset.MeanRecallAtK(searchAll(ds, ix, 10, 8), ds.GroundTruth, 10)
+	if r < 0.7 {
+		t.Errorf("recall@10 with nprobe=8 = %v, want ≥0.7", r)
+	}
+}
+
+func TestRecallGrowsWithNProbe(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	low := dataset.MeanRecallAtK(searchAll(ds, ix, 10, 1), ds.GroundTruth, 10)
+	high := dataset.MeanRecallAtK(searchAll(ds, ix, 10, 16), ds.GroundTruth, 10)
+	if high < low {
+		t.Errorf("recall fell from %v to %v as nprobe grew", low, high)
+	}
+	// Probing every posting is exhaustive up to centroid navigation.
+	all := dataset.MeanRecallAtK(searchAll(ds, ix, 10, ix.Postings()), ds.GroundTruth, 10)
+	if all < 0.99 {
+		t.Errorf("nprobe=all recall = %v, want ≈1", all)
+	}
+}
+
+func TestReplicationAmplifiesSpace(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64, Replicas: 8, ReplicaEps: 0.3})
+	amp := ix.SpaceAmplification()
+	if amp <= 1 {
+		t.Errorf("space amplification = %v, want >1 (closure replication)", amp)
+	}
+	if amp > 8 {
+		t.Errorf("space amplification = %v exceeds the replica cap", amp)
+	}
+	none := build(t, ds, Config{PostingSize: 64, Replicas: 1})
+	if none.SpaceAmplification() != 1 {
+		t.Errorf("replicas=1 amplification = %v, want exactly 1", none.SpaceAmplification())
+	}
+}
+
+func TestProbesIssueContiguousMultiPageReads(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	var p index.Profile
+	res := ix.Search(ds.Queries.Row(0), 10, index.SearchOptions{NProbe: 4, Recorder: &p})
+	if res.Stats.PagesRead == 0 {
+		t.Fatal("no I/O recorded")
+	}
+	ioSteps := 0
+	for _, s := range p.Steps {
+		if len(s.Pages) == 0 {
+			continue
+		}
+		ioSteps++
+		for i := 1; i < len(s.Pages); i++ {
+			if s.Pages[i] != s.Pages[i-1]+1 {
+				t.Fatalf("posting pages not contiguous: %v", s.Pages)
+			}
+		}
+	}
+	if ioSteps != 4 {
+		t.Errorf("io steps = %d, want one per probe (4)", ioSteps)
+	}
+	// SPANN's point: far fewer, larger requests than DiskANN's per-node
+	// fetches. A 64-vector posting of 32-d floats is ≥2 pages.
+	if res.Stats.PagesRead < ioSteps {
+		t.Errorf("pages %d below probe count %d", res.Stats.PagesRead, ioSteps)
+	}
+}
+
+func TestNoDuplicateResults(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64, Replicas: 8, ReplicaEps: 0.5})
+	for qi := 0; qi < 10; qi++ {
+		res := ix.Search(ds.Queries.Row(qi), 10, index.SearchOptions{NProbe: 8})
+		seen := map[int32]bool{}
+		for _, id := range res.IDs {
+			if seen[id] {
+				t.Fatalf("duplicate id %d in results (replication leaked)", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMemoryFarBelowStorage(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	if ix.MemoryBytes() >= ix.StorageBytes() {
+		t.Errorf("memory %d not below storage %d", ix.MemoryBytes(), ix.StorageBytes())
+	}
+}
+
+func TestFilterRespected(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	res := ix.Search(ds.Queries.Row(0), 10, index.SearchOptions{NProbe: 8, Filter: func(id int32) bool { return id%2 == 0 }})
+	for _, id := range res.IDs {
+		if id%2 != 0 {
+			t.Fatalf("filter leaked id %d", id)
+		}
+	}
+}
+
+func TestEmptyDataRejected(t *testing.T) {
+	if _, err := Build(vec.NewMatrix(0, 8), nil, Config{}); err == nil {
+		t.Error("empty build accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	if ix.Name() != "SPANN" || ix.Len() != 2000 || ix.Metric() != vec.Cosine {
+		t.Error("metadata wrong")
+	}
+	if ix.Postings() == 0 {
+		t.Error("no postings")
+	}
+}

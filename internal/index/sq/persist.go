@@ -1,0 +1,28 @@
+package sq
+
+import (
+	"fmt"
+
+	"svdbench/internal/binenc"
+)
+
+// WriteTo serialises the trained quantiser.
+func (q *Quantizer) WriteTo(w *binenc.Writer) {
+	w.Int(q.dim)
+	w.F32s(q.min)
+	w.F32s(q.scale)
+}
+
+// ReadQuantizer deserialises a quantiser written with WriteTo.
+func ReadQuantizer(r *binenc.Reader) (*Quantizer, error) {
+	q := &Quantizer{dim: r.Int()}
+	q.min = r.F32s()
+	q.scale = r.F32s()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if q.dim <= 0 || len(q.min) != q.dim || len(q.scale) != q.dim {
+		return nil, fmt.Errorf("sq: corrupt quantiser (dim=%d min=%d scale=%d)", q.dim, len(q.min), len(q.scale))
+	}
+	return q, nil
+}

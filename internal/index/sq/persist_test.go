@@ -1,0 +1,51 @@
+package sq
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"svdbench/internal/binenc"
+)
+
+func TestQuantizerPersistRoundTrip(t *testing.T) {
+	m := randMatrix(200, 16, 9)
+	orig, err := Train(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	orig.WriteTo(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQuantizer(binenc.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if !reflect.DeepEqual(orig.Encode(m.Row(i)), got.Encode(m.Row(i))) {
+			t.Fatalf("row %d codes differ after round trip", i)
+		}
+	}
+	if got.Dim() != orig.Dim() {
+		t.Error("dim mismatch")
+	}
+}
+
+func TestReadQuantizerRejectsGarbage(t *testing.T) {
+	if _, err := ReadQuantizer(binenc.NewReader(bytes.NewReader([]byte("x")))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Dim inconsistent with slice lengths.
+	var buf bytes.Buffer
+	w := binenc.NewWriter(&buf)
+	w.Int(8)
+	w.F32s(make([]float32, 4)) // min too short
+	w.F32s(make([]float32, 8))
+	w.Flush()
+	if _, err := ReadQuantizer(binenc.NewReader(&buf)); err == nil {
+		t.Error("inconsistent header accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package sq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"svdbench/internal/vec"
+)
+
+func randMatrix(n, dim int, seed int64) *vec.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(n, dim)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float32(r.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestTrainEmptyFails(t *testing.T) {
+	if _, err := Train(vec.NewMatrix(0, 4)); err == nil {
+		t.Error("empty training accepted")
+	}
+}
+
+func TestRoundTripWithinBound(t *testing.T) {
+	m := randMatrix(500, 16, 1)
+	q, err := Train(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := q.MaxErrorBound()
+	for i := 0; i < 50; i++ {
+		v := m.Row(i)
+		rec := q.Decode(q.Encode(v))
+		for j := range v {
+			if d := math.Abs(float64(v[j] - rec[j])); d > float64(bound[j])+1e-6 {
+				t.Fatalf("row %d dim %d error %v exceeds bound %v", i, j, d, bound[j])
+			}
+		}
+	}
+}
+
+func TestExtremesClamp(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{0, 0}, {1, 10}})
+	q, _ := Train(m)
+	// Values outside the trained range must clamp, not wrap.
+	code := q.Encode([]float32{-5, 100})
+	if code[0] != 0 || code[1] != 255 {
+		t.Errorf("clamped code = %v", code)
+	}
+}
+
+func TestConstantDimensionSafe(t *testing.T) {
+	m := vec.MatrixFromRows([][]float32{{3, 1}, {3, 2}})
+	q, _ := Train(m) // first dim has zero range
+	code := q.Encode([]float32{3, 1.5})
+	rec := q.Decode(code)
+	if math.IsNaN(float64(rec[0])) || math.Abs(float64(rec[0]-3)) > 1e-5 {
+		t.Errorf("constant dim decoded to %v", rec[0])
+	}
+}
+
+func TestDistanceL2SqMatchesDecoded(t *testing.T) {
+	m := randMatrix(200, 8, 2)
+	q, _ := Train(m)
+	codes := q.EncodeAll(m)
+	query := m.Row(0)
+	for i := 0; i < 20; i++ {
+		fast := q.DistanceAt(query, codes, i)
+		slow := vec.L2Sq(query, q.Decode(codes[i*q.Dim():(i+1)*q.Dim()]))
+		if math.Abs(float64(fast-slow)) > 1e-3 {
+			t.Fatalf("row %d: fast %v vs slow %v", i, fast, slow)
+		}
+	}
+}
+
+// Property: quantised distances preserve the near-vs-far ordering.
+func TestPropertyOrderingPreserved(t *testing.T) {
+	m := randMatrix(300, 16, 3)
+	q, _ := Train(m)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := m.Row(r.Intn(m.Len()))
+		near := vec.Clone(base)
+		for j := range near {
+			near[j] += float32(r.NormFloat64() * 0.01)
+		}
+		far := vec.Clone(base)
+		for j := range far {
+			far[j] += float32(r.NormFloat64() * 2)
+		}
+		dn := q.DistanceL2Sq(base, q.Encode(near))
+		df := q.DistanceL2Sq(base, q.Encode(far))
+		return dn < df
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePanicsOnWrongDim(t *testing.T) {
+	m := randMatrix(10, 4, 4)
+	q, _ := Train(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong dim")
+		}
+	}()
+	q.Encode(make([]float32, 2))
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := randMatrix(10, 4, 5)
+	q, _ := Train(m)
+	if q.MemoryBytes() != 32 {
+		t.Errorf("memory = %d, want 32", q.MemoryBytes())
+	}
+}

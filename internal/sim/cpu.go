@@ -1,0 +1,69 @@
+package sim
+
+// CPU models a fixed pool of identical cores. Compute bursts occupy one core
+// for a span of virtual time; when all cores are busy, bursts queue in FIFO
+// order behind a fair scheduler. The model matches the paper's testbed
+// configuration (Sec. III-A): a fixed core count with hyper-threading and
+// frequency boost disabled, so one burst of work always costs the same
+// virtual time.
+//
+// Busy time is accounted cumulatively so a caller can compute utilisation
+// over any window, which is how Figure 4's global CPU usage is produced.
+type CPU struct {
+	sem   *Semaphore
+	cores int
+	busy  Duration // cumulative core-busy virtual time
+}
+
+// NewCPU creates a CPU with the given number of cores.
+func NewCPU(k *Kernel, cores int) *CPU {
+	return &CPU{sem: NewSemaphore(k, "cpu", int64(cores)), cores: cores}
+}
+
+// Cores returns the number of cores.
+func (c *CPU) Cores() int { return c.cores }
+
+// Use occupies one core for d of virtual time, queueing if all cores are
+// busy. Zero and negative durations are no-ops.
+func (c *CPU) Use(e *Env, d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.sem.Acquire(e, 1)
+	e.Sleep(d)
+	c.sem.Release(1)
+	c.busy += d
+}
+
+// UseN occupies n cores for d of virtual time each (as a single gang
+// acquisition). It models a burst that is perfectly parallel across n cores.
+func (c *CPU) UseN(e *Env, n int, d Duration) {
+	if d <= 0 || n <= 0 {
+		return
+	}
+	if n > c.cores {
+		n = c.cores
+	}
+	c.sem.Acquire(e, int64(n))
+	e.Sleep(d)
+	c.sem.Release(int64(n))
+	c.busy += Duration(n) * d
+}
+
+// BusyTime returns cumulative core-busy virtual time since creation.
+func (c *CPU) BusyTime() Duration { return c.busy }
+
+// Utilization returns mean CPU utilisation in [0,1] given the busy time at
+// the start of a window, the busy time at its end, and the window length.
+func Utilization(busyStart, busyEnd Duration, window Duration, cores int) float64 {
+	if window <= 0 || cores <= 0 {
+		return 0
+	}
+	return float64(busyEnd-busyStart) / (float64(window) * float64(cores))
+}
+
+// InUse returns the number of cores currently occupied.
+func (c *CPU) InUse() int { return int(c.sem.Held()) }
+
+// QueueLen returns the number of bursts waiting for a core.
+func (c *CPU) QueueLen() int { return c.sem.QueueLen() }

@@ -1,0 +1,258 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of processes, each running in its own goroutine,
+// through a virtual clock. Exactly one process executes at a time; a process
+// yields back to the kernel whenever it waits for virtual time to pass or for
+// a resource to become available. Events scheduled for the same instant are
+// ordered by a monotonically increasing sequence number, which makes runs
+// fully deterministic: the same program produces the same event order and the
+// same virtual timestamps on every run.
+//
+// The package also provides the resource primitives the benchmark needs on
+// top of the raw kernel: counting semaphores with FIFO wait queues
+// (Semaphore), fork/join process groups (Group), bounded FIFO queues (Queue),
+// and a multi-core CPU resource with utilisation accounting (CPU).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely to
+// and from time.Duration.
+type Duration = time.Duration
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procRunnable procState = iota
+	procBlocked
+	procDone
+)
+
+// proc is the kernel-side handle for one simulated process.
+type proc struct {
+	id    int
+	name  string
+	wake  chan struct{}
+	state procState
+}
+
+// Kernel is a discrete-event simulation instance. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan *proc // processes signal the kernel here when they block or exit
+	nextID int
+	live   int // processes spawned and not yet done
+
+	started  bool
+	deadlock func(k *Kernel) // called when no events remain but processes are blocked
+}
+
+// NewKernel returns an empty simulation at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan *proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// schedule enqueues a wake-up for p at time at.
+func (k *Kernel) schedule(p *proc, at Time) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, proc: p})
+}
+
+// Env is a process's handle to the simulation. Every simulated process
+// receives one; all interaction with virtual time flows through it. An Env
+// must only be used from the goroutine of the process that owns it.
+type Env struct {
+	k *Kernel
+	p *proc
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.k.now }
+
+// Kernel returns the kernel this process runs under.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Name returns the process name given at Spawn time.
+func (e *Env) Name() string { return e.p.name }
+
+// Sleep suspends the process for d of virtual time. Negative or zero
+// durations yield the processor but do not advance the clock.
+func (e *Env) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.k.schedule(e.p, e.k.now.Add(d))
+	e.block()
+}
+
+// SleepUntil suspends the process until virtual time t (or returns
+// immediately if t is in the past).
+func (e *Env) SleepUntil(t Time) {
+	e.k.schedule(e.p, t)
+	e.block()
+}
+
+// block hands control back to the kernel and waits to be woken.
+func (e *Env) block() {
+	e.p.state = procBlocked
+	e.k.yield <- e.p
+	<-e.p.wake
+	e.p.state = procRunnable
+}
+
+// parkNoEvent blocks the process without scheduling any wake-up event; some
+// other process must wake it via unpark. Used by resource wait queues.
+func (e *Env) parkNoEvent() {
+	e.p.state = procBlocked
+	e.k.yield <- e.p
+	<-e.p.wake
+	e.p.state = procRunnable
+}
+
+// unpark schedules p to resume at the current virtual time.
+func (k *Kernel) unpark(p *proc) { k.schedule(p, k.now) }
+
+// Spawn creates a new simulated process executing fn, runnable at the current
+// virtual time. fn runs in its own goroutine under kernel control. Spawn may
+// be called before Run or from inside a running process.
+func (k *Kernel) Spawn(name string, fn func(*Env)) {
+	k.nextID++
+	p := &proc{id: k.nextID, name: name, wake: make(chan struct{})}
+	k.live++
+	env := &Env{k: k, p: p}
+	go func() {
+		<-p.wake // wait for first dispatch
+		p.state = procRunnable
+		fn(env)
+		p.state = procDone
+		k.yield <- p
+	}()
+	k.schedule(p, k.now)
+}
+
+// SpawnAt is like Spawn but the process first becomes runnable at time at.
+func (k *Kernel) SpawnAt(name string, at Time, fn func(*Env)) {
+	k.nextID++
+	p := &proc{id: k.nextID, name: name, wake: make(chan struct{})}
+	k.live++
+	env := &Env{k: k, p: p}
+	go func() {
+		<-p.wake
+		p.state = procRunnable
+		fn(env)
+		p.state = procDone
+		k.yield <- p
+	}()
+	k.schedule(p, at)
+}
+
+// OnDeadlock installs a handler invoked if the event queue drains while
+// processes are still alive but blocked (a genuine deadlock in the simulated
+// program). The default panics.
+func (k *Kernel) OnDeadlock(fn func(k *Kernel)) { k.deadlock = fn }
+
+// Run executes the simulation until no events remain or the virtual clock
+// would pass until. It returns the virtual time at which the run stopped.
+// Processes still blocked at the horizon remain blocked; Run may be called
+// again with a later horizon to continue.
+func (k *Kernel) Run(until Time) Time {
+	k.started = true
+	for len(k.events) > 0 {
+		ev := k.events[0]
+		if ev.at > until {
+			k.now = until
+			return k.now
+		}
+		heap.Pop(&k.events)
+		if ev.proc.state == procDone {
+			continue
+		}
+		k.now = ev.at
+		// Dispatch the process and wait for it to yield (block, spawn
+		// more work, or terminate).
+		ev.proc.wake <- struct{}{}
+		p := <-k.yield
+		if p.state == procDone {
+			k.live--
+		}
+	}
+	if k.live > 0 {
+		if k.deadlock != nil {
+			k.deadlock(k)
+			return k.now
+		}
+		panic(fmt.Sprintf("sim: deadlock at t=%v with %d live processes", k.now, k.live))
+	}
+	return k.now
+}
+
+// RunAll executes the simulation until every process has finished.
+func (k *Kernel) RunAll() Time { return k.Run(MaxTime) }
+
+// Live reports the number of processes that have been spawned and have not
+// yet terminated.
+func (k *Kernel) Live() int { return k.live }
+
+// Pending reports the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) }

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Spawn("sleeper", func(e *Env) {
+		e.Sleep(150 * time.Microsecond)
+		woke = e.Now()
+	})
+	end := k.RunAll()
+	if woke != Time(150*time.Microsecond) {
+		t.Errorf("woke at %v, want 150µs", woke)
+	}
+	if end != woke {
+		t.Errorf("run ended at %v, want %v", end, woke)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	k := NewKernel()
+	var after Time
+	k.Spawn("p", func(e *Env) {
+		e.Sleep(0)
+		e.Sleep(-time.Second)
+		after = e.Now()
+	})
+	k.RunAll()
+	if after != 0 {
+		t.Errorf("clock moved to %v on zero/negative sleep", after)
+	}
+}
+
+func TestSleepUntilPast(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		e.SleepUntil(0) // in the past: must not rewind
+		if e.Now() != Time(time.Millisecond) {
+			t.Errorf("clock rewound to %v", e.Now())
+		}
+	})
+	k.RunAll()
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var order []string
+		for i := 0; i < 5; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(e *Env) {
+				for j := 0; j < 3; j++ {
+					e.Sleep(time.Duration(i+1) * time.Millisecond)
+					order = append(order, fmt.Sprintf("p%d@%v", i, e.Now()))
+				}
+			})
+		}
+		k.RunAll()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 15 {
+		t.Fatalf("got %d events, want 15", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSameInstantFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn("p", func(e *Env) {
+			e.Sleep(time.Millisecond) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestRunHorizonStopsClock(t *testing.T) {
+	k := NewKernel()
+	done := false
+	k.Spawn("p", func(e *Env) {
+		e.Sleep(10 * time.Second)
+		done = true
+	})
+	end := k.Run(Time(time.Second))
+	if done {
+		t.Error("process ran past the horizon")
+	}
+	if end != Time(time.Second) {
+		t.Errorf("clock at %v, want 1s", end)
+	}
+	k.RunAll()
+	if !done {
+		t.Error("process did not complete after extending horizon")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel()
+	var childTime Time
+	k.Spawn("parent", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		e.Kernel().Spawn("child", func(ce *Env) {
+			ce.Sleep(time.Millisecond)
+			childTime = ce.Now()
+		})
+		e.Sleep(5 * time.Millisecond)
+	})
+	k.RunAll()
+	if childTime != Time(2*time.Millisecond) {
+		t.Errorf("child finished at %v, want 2ms", childTime)
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel()
+	var started Time
+	k.SpawnAt("late", Time(3*time.Second), func(e *Env) { started = e.Now() })
+	k.RunAll()
+	if started != Time(3*time.Second) {
+		t.Errorf("started at %v, want 3s", started)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, "s", 1)
+	called := false
+	k.OnDeadlock(func(*Kernel) { called = true })
+	k.Spawn("p", func(e *Env) {
+		sem.Acquire(e, 1)
+		sem.Acquire(e, 1) // self-deadlock
+	})
+	k.RunAll()
+	if !called {
+		t.Error("deadlock handler not invoked")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, "s", 2)
+	inFlight, maxInFlight := 0, 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", func(e *Env) {
+			sem.Acquire(e, 1)
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			e.Sleep(time.Millisecond)
+			inFlight--
+			sem.Release(1)
+		})
+	}
+	end := k.RunAll()
+	if maxInFlight != 2 {
+		t.Errorf("max in flight %d, want 2", maxInFlight)
+	}
+	// 6 jobs, 2 at a time, 1ms each => 3ms.
+	if end != Time(3*time.Millisecond) {
+		t.Errorf("finished at %v, want 3ms", end)
+	}
+}
+
+func TestSemaphoreFIFONoBarging(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, "s", 2)
+	var order []string
+	k.Spawn("holder", func(e *Env) {
+		sem.Acquire(e, 2)
+		e.Sleep(time.Millisecond)
+		sem.Release(2)
+	})
+	k.SpawnAt("big", 1, func(e *Env) {
+		sem.Acquire(e, 2)
+		order = append(order, "big")
+		sem.Release(2)
+	})
+	k.SpawnAt("small", 2, func(e *Env) {
+		sem.Acquire(e, 1)
+		order = append(order, "small")
+		sem.Release(1)
+	})
+	k.RunAll()
+	if len(order) != 2 || order[0] != "big" {
+		t.Errorf("barging occurred, order %v", order)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, "s", 1)
+	if !sem.TryAcquire(1) {
+		t.Fatal("first TryAcquire failed")
+	}
+	if sem.TryAcquire(1) {
+		t.Fatal("second TryAcquire succeeded at capacity")
+	}
+	sem.Release(1)
+	if !sem.TryAcquire(1) {
+		t.Fatal("TryAcquire failed after release")
+	}
+}
+
+func TestSemaphoreWaitStats(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, "s", 1)
+	k.Spawn("a", func(e *Env) {
+		sem.Acquire(e, 1)
+		e.Sleep(2 * time.Millisecond)
+		sem.Release(1)
+	})
+	k.Spawn("b", func(e *Env) {
+		sem.Acquire(e, 1)
+		sem.Release(1)
+	})
+	k.RunAll()
+	waits, total, maxQ := sem.WaitStats()
+	if waits != 1 || total != 2*time.Millisecond || maxQ != 1 {
+		t.Errorf("stats = (%d, %v, %d), want (1, 2ms, 1)", waits, total, maxQ)
+	}
+}
+
+func TestGroupJoin(t *testing.T) {
+	k := NewKernel()
+	var joined Time
+	k.Spawn("parent", func(e *Env) {
+		g := e.NewGroup()
+		for i := 1; i <= 4; i++ {
+			d := time.Duration(i) * time.Millisecond
+			g.Go("child", func(ce *Env) { ce.Sleep(d) })
+		}
+		g.Wait(e)
+		joined = e.Now()
+	})
+	k.RunAll()
+	if joined != Time(4*time.Millisecond) {
+		t.Errorf("joined at %v, want 4ms (slowest child)", joined)
+	}
+}
+
+func TestGroupWaitAfterChildrenDone(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("parent", func(e *Env) {
+		g := e.NewGroup()
+		g.Go("fast", func(ce *Env) {})
+		e.Sleep(time.Millisecond)
+		g.Wait(e) // children already done: must not block forever
+		if e.Now() != Time(time.Millisecond) {
+			t.Errorf("wait advanced clock to %v", e.Now())
+		}
+	})
+	k.RunAll()
+}
+
+func TestQueueFIFOAndBlocking(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue(k)
+	var got []int
+	k.Spawn("consumer", func(e *Env) {
+		for {
+			v, ok := q.Get(e)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	k.Spawn("producer", func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Sleep(time.Millisecond)
+			q.Put(i)
+		}
+		e.Sleep(time.Millisecond)
+		q.Close()
+	})
+	k.RunAll()
+	if len(got) != 5 {
+		t.Fatalf("consumed %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("not FIFO: %v", got)
+		}
+	}
+}
+
+func TestQueueCloseWakesAllGetters(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue(k)
+	finished := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("getter", func(e *Env) {
+			_, ok := q.Get(e)
+			if ok {
+				t.Error("got item from empty closed queue")
+			}
+			finished++
+		})
+	}
+	k.Spawn("closer", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		q.Close()
+	})
+	k.RunAll()
+	if finished != 3 {
+		t.Errorf("%d getters finished, want 3", finished)
+	}
+}
+
+func TestCPUSerializesBeyondCores(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, 2)
+	for i := 0; i < 4; i++ {
+		k.Spawn("burst", func(e *Env) { cpu.Use(e, 10*time.Millisecond) })
+	}
+	end := k.RunAll()
+	if end != Time(20*time.Millisecond) {
+		t.Errorf("4 bursts on 2 cores finished at %v, want 20ms", end)
+	}
+	if cpu.BusyTime() != 40*time.Millisecond {
+		t.Errorf("busy time %v, want 40ms", cpu.BusyTime())
+	}
+}
+
+func TestCPUUseNGang(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, 4)
+	k.Spawn("gang", func(e *Env) { cpu.UseN(e, 8, 10*time.Millisecond) }) // clamped to 4
+	end := k.RunAll()
+	if end != Time(10*time.Millisecond) {
+		t.Errorf("gang finished at %v, want 10ms", end)
+	}
+	if cpu.BusyTime() != 40*time.Millisecond {
+		t.Errorf("busy %v, want 40ms", cpu.BusyTime())
+	}
+}
+
+func TestUtilizationMath(t *testing.T) {
+	u := Utilization(0, 10*time.Second, 1*time.Second, 20)
+	if u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if Utilization(0, 0, 0, 20) != 0 {
+		t.Error("zero window must give zero utilization")
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, 8)
+	done := 0
+	for i := 0; i < 500; i++ {
+		i := i
+		k.Spawn("w", func(e *Env) {
+			e.Sleep(time.Duration(i%17) * time.Microsecond)
+			cpu.Use(e, time.Duration(50+i%13)*time.Microsecond)
+			done++
+		})
+	}
+	k.RunAll()
+	if done != 500 {
+		t.Fatalf("completed %d, want 500", done)
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import "fmt"
+
+// Semaphore is a counting semaphore with a FIFO wait queue. Acquire order is
+// strictly first-come-first-served, which keeps simulations deterministic and
+// models fair schedulers.
+type Semaphore struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	held     int64
+	waiters  []semWaiter
+
+	// accounting
+	totalWaits   int64
+	totalWaitDur Duration
+	maxQueue     int
+}
+
+type semWaiter struct {
+	p     *proc
+	n     int64
+	since Time
+	env   *Env
+}
+
+// NewSemaphore creates a semaphore with the given capacity.
+func NewSemaphore(k *Kernel, name string, capacity int64) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: semaphore %q capacity must be positive, got %d", name, capacity))
+	}
+	return &Semaphore{k: k, name: name, capacity: capacity}
+}
+
+// Capacity returns the semaphore's total capacity.
+func (s *Semaphore) Capacity() int64 { return s.capacity }
+
+// Held returns the number of units currently held.
+func (s *Semaphore) Held() int64 { return s.held }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+
+// Acquire obtains n units, blocking in FIFO order until they are available.
+func (s *Semaphore) Acquire(e *Env, n int64) {
+	if n <= 0 || n > s.capacity {
+		panic(fmt.Sprintf("sim: semaphore %q: acquire %d with capacity %d", s.name, n, s.capacity))
+	}
+	if len(s.waiters) == 0 && s.held+n <= s.capacity {
+		s.held += n
+		return
+	}
+	s.totalWaits++
+	s.waiters = append(s.waiters, semWaiter{p: e.p, n: n, since: e.k.now, env: e})
+	if len(s.waiters) > s.maxQueue {
+		s.maxQueue = len(s.waiters)
+	}
+	e.parkNoEvent()
+}
+
+// TryAcquire obtains n units if immediately available, reporting success.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	if n <= 0 || n > s.capacity {
+		return false
+	}
+	if len(s.waiters) == 0 && s.held+n <= s.capacity {
+		s.held += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes as many FIFO waiters as now fit.
+func (s *Semaphore) Release(n int64) {
+	s.held -= n
+	if s.held < 0 {
+		panic(fmt.Sprintf("sim: semaphore %q released below zero", s.name))
+	}
+	s.dispatch()
+}
+
+// dispatch grants the semaphore to queued waiters in FIFO order while
+// capacity remains. A large waiter at the head blocks smaller ones behind it
+// (no barging), preserving fairness.
+func (s *Semaphore) dispatch() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.held+w.n > s.capacity {
+			return
+		}
+		s.held += w.n
+		s.totalWaitDur += s.k.now.Sub(w.since)
+		s.waiters = s.waiters[1:]
+		s.k.unpark(w.p)
+	}
+}
+
+// WaitStats reports the number of acquisitions that had to wait, the total
+// virtual time spent waiting, and the maximum queue length observed.
+func (s *Semaphore) WaitStats() (waits int64, total Duration, maxQueue int) {
+	return s.totalWaits, s.totalWaitDur, s.maxQueue
+}
+
+// Group is a fork/join helper: a parent process spawns children with Go and
+// blocks in Wait until all of them finish. It mirrors sync.WaitGroup for
+// simulated processes.
+type Group struct {
+	k       *Kernel
+	pending int
+	waiter  *proc
+}
+
+// NewGroup creates an empty group bound to the environment's kernel.
+func (e *Env) NewGroup() *Group { return &Group{k: e.k} }
+
+// Go spawns fn as a child process counted by the group.
+func (g *Group) Go(name string, fn func(*Env)) {
+	g.pending++
+	g.k.Spawn(name, func(e *Env) {
+		fn(e)
+		g.pending--
+		if g.pending == 0 && g.waiter != nil {
+			w := g.waiter
+			g.waiter = nil
+			g.k.unpark(w)
+		}
+	})
+}
+
+// Wait blocks the calling process until every child spawned with Go has
+// finished. Only one process may Wait on a group at a time.
+func (g *Group) Wait(e *Env) {
+	if g.pending == 0 {
+		return
+	}
+	if g.waiter != nil {
+		panic("sim: concurrent Wait on Group")
+	}
+	g.waiter = e.p
+	e.parkNoEvent()
+}
+
+// Queue is an unbounded FIFO of interface values with blocking Get,
+// supporting close semantics like a Go channel. It models work queues inside
+// the simulated database engines.
+type Queue struct {
+	k      *Kernel
+	items  []interface{}
+	getter []*proc
+	closed bool
+}
+
+// NewQueue creates an empty open queue.
+func NewQueue(k *Kernel) *Queue { return &Queue{k: k} }
+
+// Put appends v and wakes one blocked getter, if any. Put on a closed queue
+// panics.
+func (q *Queue) Put(v interface{}) {
+	if q.closed {
+		panic("sim: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	if len(q.getter) > 0 {
+		p := q.getter[0]
+		q.getter = q.getter[1:]
+		q.k.unpark(p)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is empty
+// and open. It returns ok=false once the queue is closed and drained.
+func (q *Queue) Get(e *Env) (v interface{}, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.getter = append(q.getter, e.p)
+		e.parkNoEvent()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Close marks the queue closed and wakes all blocked getters, which then
+// observe ok=false.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, p := range q.getter {
+		q.k.unpark(p)
+	}
+	q.getter = nil
+}

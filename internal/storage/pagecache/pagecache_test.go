@@ -1,0 +1,121 @@
+package pagecache
+
+import (
+	"testing"
+
+	"svdbench/internal/sim"
+	"svdbench/internal/storage/ssd"
+)
+
+func newCache(capacity int) (*sim.Kernel, *ssd.Device, *Cache) {
+	k := sim.NewKernel()
+	dev := ssd.New(k, nil, ssd.DefaultConfig())
+	return k, dev, New(dev, capacity)
+}
+
+func TestMissThenHit(t *testing.T) {
+	k, dev, c := newCache(0)
+	var missTime, hitTime sim.Duration
+	k.Spawn("p", func(e *sim.Env) {
+		t0 := e.Now()
+		c.Touch(e, 7)
+		missTime = e.Now().Sub(t0)
+		t1 := e.Now()
+		c.Touch(e, 7)
+		hitTime = e.Now().Sub(t1)
+	})
+	k.RunAll()
+	if missTime < ssd.DefaultConfig().ReadLatency {
+		t.Errorf("miss took %v, want at least device latency", missTime)
+	}
+	if hitTime >= missTime/10 {
+		t.Errorf("hit took %v vs miss %v: hits must be far cheaper", hitTime, missTime)
+	}
+	reads, _ := dev.Stats()
+	if reads != 1 {
+		t.Errorf("device reads = %d, want 1", reads)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d,%d)", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	k, dev, c := newCache(2)
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		c.Touch(e, 2)
+		c.Touch(e, 1) // 1 is now MRU; LRU order: 1, 2
+		c.Touch(e, 3) // evicts 2
+		if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+			t.Errorf("resident set wrong: 1=%v 2=%v 3=%v", c.Contains(1), c.Contains(2), c.Contains(3))
+		}
+		c.Touch(e, 2) // must miss again
+	})
+	k.RunAll()
+	reads, _ := dev.Stats()
+	if reads != 4 {
+		t.Errorf("device reads = %d, want 4 (3 cold + 1 re-miss)", reads)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	k, dev, c := newCache(0)
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		c.Touch(e, 2)
+		c.Drop()
+		if c.Len() != 0 {
+			t.Errorf("len after drop = %d", c.Len())
+		}
+		c.Touch(e, 1) // cold again
+	})
+	k.RunAll()
+	reads, _ := dev.Stats()
+	if reads != 3 {
+		t.Errorf("device reads = %d, want 3", reads)
+	}
+}
+
+func TestWarmAvoidsIO(t *testing.T) {
+	k, dev, c := newCache(0)
+	c.Warm([]int64{1, 2, 3})
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		c.Touch(e, 2)
+		c.Touch(e, 3)
+	})
+	k.RunAll()
+	reads, _ := dev.Stats()
+	if reads != 0 {
+		t.Errorf("device reads = %d, want 0 after warm", reads)
+	}
+}
+
+func TestWarmDuplicateAndOverCapacity(t *testing.T) {
+	_, _, c := newCache(2)
+	c.Warm([]int64{1, 1, 2, 3})
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want capacity 2", c.Len())
+	}
+	if c.Contains(1) {
+		t.Error("page 1 should have been evicted (oldest)")
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	k, _, c := newCache(0)
+	k.Spawn("p", func(e *sim.Env) {
+		for i := int64(0); i < 1000; i++ {
+			c.Touch(e, i)
+		}
+	})
+	k.RunAll()
+	if c.Len() != 1000 {
+		t.Errorf("len = %d, want 1000", c.Len())
+	}
+}

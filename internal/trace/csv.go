@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"svdbench/internal/sim"
+)
+
+// WriteCSV streams raw records as "ns,op,bytes" lines, the interchange
+// format between the harness and cmd/iostat (the role of the paper's
+// bpftrace output files).
+func WriteCSV(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "ns,op,bytes"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d\n", int64(r.At), r.Op, r.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "ns,") {
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		ns, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %w", line, err)
+		}
+		var op Op
+		switch parts[1] {
+		case "R":
+			op = Read
+		case "W":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, parts[1])
+		}
+		bytes, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %w", line, err)
+		}
+		out = append(out, Record{At: sim.Time(ns), Op: op, Bytes: bytes})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Replay feeds raw records into a fresh tracer for offline analysis.
+func Replay(records []Record) *Tracer {
+	t := NewTracer(false)
+	for _, r := range records {
+		t.Emit(r.At, r.Op, r.Bytes)
+	}
+	return t
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []Record{
+		{At: 0, Op: Read, Bytes: 4096},
+		{At: 1500, Op: Write, Bytes: 8192},
+		{At: 3000, Op: Read, Bytes: 4096},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Errorf("round trip changed records:\n%v\n%v", got, records)
+	}
+}
+
+func TestReadCSVHeaderOptional(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("0,R,4096\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("headerless read: %v, %d records", err, len(got))
+	}
+	got, err = ReadCSV(strings.NewReader("ns,op,bytes\n\n0,W,1\n"))
+	if err != nil || len(got) != 1 || got[0].Op != Write {
+		t.Fatalf("header+blank read: %v, %+v", err, got)
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"0,R\n",          // missing field
+		"x,R,4096\n",     // bad timestamp
+		"0,T,4096\n",     // bad op
+		"0,R,notanint\n", // bad size
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed line %q accepted", c)
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	records := []Record{
+		{At: 0, Op: Read, Bytes: 4096},
+		{At: 10, Op: Read, Bytes: 4096},
+	}
+	tr := Replay(records)
+	r, _, rb, _ := tr.Totals()
+	if r != 2 || rb != 8192 {
+		t.Errorf("replay totals = %d ops %d bytes", r, rb)
+	}
+}

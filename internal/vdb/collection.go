@@ -1,0 +1,324 @@
+package vdb
+
+import (
+	"fmt"
+	"sync"
+
+	"svdbench/internal/index"
+	"svdbench/internal/index/diskann"
+	"svdbench/internal/index/flat"
+	"svdbench/internal/index/hnsw"
+	"svdbench/internal/index/ivf"
+	"svdbench/internal/vec"
+)
+
+// Payload is the auxiliary data attached to one vector (the paper's
+// "payload" feature of full-fledged vector databases, Sec. II-C).
+type Payload map[string]string
+
+// Segment is one sealed shard of a collection: an immutable vector block
+// with its own index.
+type Segment struct {
+	IDs   []int32
+	Data  *vec.Matrix
+	Index index.Index
+}
+
+// Collection is a named vector collection under one engine's traits: sealed
+// segments with indexes, a growing tail segment that is brute-force
+// searched, tombstoned deletes, and payload storage.
+type Collection struct {
+	Name   string
+	dim    int
+	metric vec.Metric
+	traits Traits
+	kind   IndexKind
+	params BuildParams
+
+	segments []*Segment
+	growData *vec.Matrix
+	growIDs  []int32
+
+	tombstones map[int32]bool
+	payloads   map[int32]Payload
+	nextID     int32
+}
+
+// NewCollection creates an empty collection for the engine's traits.
+// The index kind must be supported by the engine.
+func NewCollection(name string, dim int, metric vec.Metric, traits Traits, kind IndexKind, params BuildParams) (*Collection, error) {
+	if !traits.Supports(kind) {
+		return nil, fmt.Errorf("%w: %s does not expose %s", ErrUnsupportedIndex, traits.Name, kind)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("vdb: invalid dimension %d", dim)
+	}
+	return &Collection{
+		Name:       name,
+		dim:        dim,
+		metric:     metric,
+		traits:     traits,
+		kind:       kind,
+		params:     params,
+		growData:   vec.NewMatrix(0, dim),
+		tombstones: map[int32]bool{},
+		payloads:   map[int32]Payload{},
+	}, nil
+}
+
+// Dim returns the vector dimensionality.
+func (c *Collection) Dim() int { return c.dim }
+
+// Metric returns the distance metric.
+func (c *Collection) Metric() vec.Metric { return c.metric }
+
+// IndexKind returns the configured index family.
+func (c *Collection) IndexKind() IndexKind { return c.kind }
+
+// Traits returns the engine traits the collection runs under.
+func (c *Collection) Traits() Traits { return c.traits }
+
+// Len returns the number of live vectors.
+func (c *Collection) Len() int {
+	n := len(c.growIDs)
+	for _, s := range c.segments {
+		n += len(s.IDs)
+	}
+	return n - len(c.tombstones)
+}
+
+// Segments returns the sealed segments.
+func (c *Collection) Segments() []*Segment { return c.segments }
+
+// BulkLoad ingests the matrix as the collection's sealed contents: rows are
+// split into SegmentCapacity-sized segments (or one monolithic segment) and
+// indexed in parallel. Assigned ids are sequential from zero. payloads, when
+// non-nil, attaches payloads[i] to row i.
+func (c *Collection) BulkLoad(data *vec.Matrix, payloads []Payload) error {
+	n := data.Len()
+	if n == 0 {
+		return fmt.Errorf("vdb: bulk load of empty matrix")
+	}
+	if data.Dim != c.dim {
+		return fmt.Errorf("vdb: bulk load dim %d, want %d", data.Dim, c.dim)
+	}
+	capPer := c.traits.SegmentCapacity
+	if capPer <= 0 {
+		capPer = n
+	}
+	type job struct {
+		lo, hi int
+		out    int
+	}
+	var jobs []job
+	for lo := 0; lo < n; lo += capPer {
+		hi := lo + capPer
+		if hi > n {
+			hi = n
+		}
+		jobs = append(jobs, job{lo, hi, len(jobs)})
+	}
+	segs := make([]*Segment, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sub := vec.NewMatrix(j.hi-j.lo, c.dim)
+			ids := make([]int32, j.hi-j.lo)
+			for i := j.lo; i < j.hi; i++ {
+				sub.SetRow(i-j.lo, data.Row(i))
+				ids[i-j.lo] = int32(i)
+			}
+			ix, err := c.buildIndex(sub, ids, int64(j.out))
+			if err != nil {
+				errs[j.out] = err
+				return
+			}
+			segs[j.out] = &Segment{IDs: ids, Data: sub, Index: ix}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.segments = segs
+	c.nextID = int32(n)
+	for i, p := range payloads {
+		if p != nil {
+			c.payloads[int32(i)] = p
+		}
+	}
+	return nil
+}
+
+// buildIndex constructs the configured index over one segment's rows.
+func (c *Collection) buildIndex(data *vec.Matrix, ids []int32, segSeed int64) (index.Index, error) {
+	seed := c.params.Seed + segSeed
+	switch c.kind {
+	case IndexIVFFlat:
+		return ivf.Build(data, ids, ivf.Config{NList: c.params.NList, Metric: c.metric, Seed: seed})
+	case IndexIVFPQ:
+		return ivf.Build(data, ids, ivf.Config{NList: c.params.NList, Metric: c.metric, Seed: seed, PQ: true})
+	case IndexHNSW:
+		return hnsw.Build(data, ids, hnsw.Config{M: c.params.M, EfConstruction: c.params.EfConstruction, Metric: c.metric, Seed: seed})
+	case IndexHNSWSQ:
+		return hnsw.Build(data, ids, hnsw.Config{M: c.params.M, EfConstruction: c.params.EfConstruction, Metric: c.metric, Seed: seed, ScalarQuantize: true})
+	case IndexDiskANN:
+		return diskann.Build(data, ids, diskann.Config{R: c.params.R, LBuild: c.params.LBuild, Alpha: c.params.Alpha, Metric: c.metric, Seed: seed})
+	default:
+		return nil, fmt.Errorf("vdb: unknown index kind %q", c.kind)
+	}
+}
+
+// AssignStorage lays storage-based indexes out on a device's pages. It must
+// be called once after BulkLoad when the index kind is storage-based.
+func (c *Collection) AssignStorage(alloc func(npages int64) int64) {
+	for _, s := range c.segments {
+		switch ix := s.Index.(type) {
+		case *diskann.Index:
+			ix.AssignPages(alloc)
+		case *ivf.Index:
+			ix.AssignPages(alloc)
+		}
+	}
+}
+
+// Insert adds one vector to the growing tail segment and returns its id.
+// Growing rows are scanned brute-force by searches until compaction.
+func (c *Collection) Insert(v []float32, payload Payload) (int32, error) {
+	if len(v) != c.dim {
+		return 0, fmt.Errorf("vdb: insert dim %d, want %d", len(v), c.dim)
+	}
+	id := c.nextID
+	c.nextID++
+	c.growData.AppendRow(v)
+	c.growIDs = append(c.growIDs, id)
+	if payload != nil {
+		c.payloads[id] = payload
+	}
+	return id, nil
+}
+
+// Delete tombstones an id; searches stop returning it immediately.
+func (c *Collection) Delete(id int32) {
+	c.tombstones[id] = true
+	delete(c.payloads, id)
+}
+
+// Deleted reports whether an id is tombstoned.
+func (c *Collection) Deleted(id int32) bool { return c.tombstones[id] }
+
+// GrowingLen returns the number of rows in the growing tail.
+func (c *Collection) GrowingLen() int { return len(c.growIDs) }
+
+// Payload returns the payload of an id (nil when absent).
+func (c *Collection) Payload(id int32) Payload { return c.payloads[id] }
+
+// FilterEq builds a search filter matching payload[field] == value,
+// honouring tombstones.
+func (c *Collection) FilterEq(field, value string) func(int32) bool {
+	return func(id int32) bool {
+		if c.tombstones[id] {
+			return false
+		}
+		p := c.payloads[id]
+		return p != nil && p[field] == value
+	}
+}
+
+// liveFilter wraps a user filter with tombstone checking.
+func (c *Collection) liveFilter(user func(int32) bool) func(int32) bool {
+	if len(c.tombstones) == 0 {
+		return user
+	}
+	return func(id int32) bool {
+		if c.tombstones[id] {
+			return false
+		}
+		return user == nil || user(id)
+	}
+}
+
+// QueryExec is the recorded execution of one query against this collection:
+// the per-segment step sequences the simulator replays, plus the merged
+// result ids for recall computation.
+type QueryExec struct {
+	Segments [][]index.Step
+	IDs      []int32
+}
+
+// SearchDirect runs the real search (outside the simulation) and returns the
+// merged top-k result. When record is true the per-segment execution
+// profiles are captured into the returned QueryExec.
+func (c *Collection) SearchDirect(q []float32, k int, opts index.SearchOptions, record bool) QueryExec {
+	if len(c.segments) == 0 && len(c.growIDs) == 0 {
+		return QueryExec{}
+	}
+	opts.Filter = c.liveFilter(opts.Filter)
+	var merged index.MaxHeap
+	exec := QueryExec{}
+	if record {
+		exec.Segments = make([][]index.Step, 0, len(c.segments))
+	}
+	for _, s := range c.segments {
+		segOpts := opts
+		var prof index.Profile
+		if record {
+			segOpts.Recorder = &prof
+		}
+		res := s.Index.Search(q, k, segOpts)
+		for i := range res.IDs {
+			merged.PushBounded(index.Neighbor{ID: res.IDs[i], Dist: res.Dists[i]}, k)
+		}
+		if record {
+			exec.Segments = append(exec.Segments, prof.Steps)
+		}
+	}
+	// Brute-force the growing tail.
+	if len(c.growIDs) > 0 {
+		fx := flat.New(c.growData, c.metric, c.growIDs)
+		gOpts := opts
+		var prof index.Profile
+		if record {
+			gOpts.Recorder = &prof
+		}
+		res := fx.Search(q, k, gOpts)
+		for i := range res.IDs {
+			merged.PushBounded(index.Neighbor{ID: res.IDs[i], Dist: res.Dists[i]}, k)
+		}
+		if record {
+			exec.Segments = append(exec.Segments, prof.Steps)
+		}
+	}
+	ns := merged.SortedAscending()
+	exec.IDs = make([]int32, len(ns))
+	for i, n := range ns {
+		exec.IDs[i] = n.ID
+	}
+	return exec
+}
+
+// RecordQueries captures the execution of every query row: the workload the
+// simulation replays. Queries are processed in parallel (host goroutines)
+// since recording is preprocessing.
+func (c *Collection) RecordQueries(queries *vec.Matrix, k int, opts index.SearchOptions) []QueryExec {
+	out := make([]QueryExec, queries.Len())
+	var wg sync.WaitGroup
+	nw := len(out)
+	sem := make(chan struct{}, 8)
+	for qi := 0; qi < nw; qi++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[qi] = c.SearchDirect(queries.Row(qi), k, opts, true)
+		}(qi)
+	}
+	wg.Wait()
+	return out
+}

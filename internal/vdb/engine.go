@@ -1,0 +1,177 @@
+package vdb
+
+import (
+	"time"
+
+	"svdbench/internal/index"
+	"svdbench/internal/sim"
+	"svdbench/internal/storage/ssd"
+)
+
+// Engine executes recorded queries inside the discrete-event simulation
+// under one trait profile. It owns the scheduler state that produces the
+// paper's engine-level differences: admission control, idle-wake penalties,
+// the global lock, per-query memory accounting, and segment fan-out.
+type Engine struct {
+	Traits
+	k   *sim.Kernel
+	cpu *sim.CPU
+	dev *ssd.Device
+
+	sched      *sim.Semaphore // admission (nil = unbounded)
+	readSlots  *sim.Semaphore // segment-worker cap (nil = unbounded)
+	globalLock *sim.Semaphore
+
+	active    int
+	memInUse  int64
+	served    int64
+	oomFailed int64
+}
+
+// NewEngine binds a trait profile to a simulation, its CPU, and the storage
+// device queries read from.
+func NewEngine(k *sim.Kernel, cpu *sim.CPU, dev *ssd.Device, traits Traits) *Engine {
+	e := &Engine{Traits: traits, k: k, cpu: cpu, dev: dev}
+	if traits.MaxConcurrent > 0 {
+		e.sched = sim.NewSemaphore(k, traits.Name+"/sched", int64(traits.MaxConcurrent))
+	}
+	if traits.IntraQueryParallel && traits.MaxReadConcurrent > 0 {
+		e.readSlots = sim.NewSemaphore(k, traits.Name+"/read", int64(traits.MaxReadConcurrent))
+	}
+	if traits.GlobalLockFraction > 0 {
+		e.globalLock = sim.NewSemaphore(k, traits.Name+"/gil", 1)
+	}
+	return e
+}
+
+// Device returns the engine's storage device.
+func (e *Engine) Device() *ssd.Device { return e.dev }
+
+// CPUResource returns the engine's CPU.
+func (e *Engine) CPUResource() *sim.CPU { return e.cpu }
+
+// Served returns the number of queries completed.
+func (e *Engine) Served() int64 { return e.served }
+
+// OOMFailures returns the number of queries rejected for memory.
+func (e *Engine) OOMFailures() int64 { return e.oomFailed }
+
+// RunQuery executes one recorded query in the calling simulated process,
+// blocking for its full virtual duration. It returns ErrOutOfMemory when the
+// trait memory budget is exceeded (the paper's LanceDB-HNSW failure mode).
+func (e *Engine) RunQuery(env *sim.Env, qe *QueryExec) error {
+	// Client → server half of the round trip.
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+	// Memory admission.
+	if e.MemPerQuery > 0 && e.MemBudget > 0 {
+		if e.memInUse+e.MemPerQuery > e.MemBudget {
+			e.oomFailed++
+			return ErrOutOfMemory
+		}
+		e.memInUse += e.MemPerQuery
+		defer func() { e.memInUse -= e.MemPerQuery }()
+	}
+	// A query arriving at an idle engine pays the thread-pool wake-up;
+	// queries arriving while it is already waking queue behind it instead
+	// of paying again.
+	wasIdle := e.active == 0
+	e.active++
+	defer func() { e.active-- }()
+	if e.IdleWake > 0 && wasIdle {
+		env.Sleep(e.IdleWake)
+	}
+
+	if e.sched != nil {
+		e.sched.Acquire(env, 1)
+		defer e.sched.Release(1)
+	}
+
+	// Fixed request-processing cost, part of it under the global lock.
+	if e.PerQueryCPU > 0 {
+		locked := time.Duration(float64(e.PerQueryCPU) * e.GlobalLockFraction)
+		free := e.PerQueryCPU - locked
+		if locked > 0 && e.globalLock != nil {
+			e.globalLock.Acquire(env, 1)
+			e.cpu.Use(env, locked)
+			e.globalLock.Release(1)
+		}
+		e.cpu.Use(env, free)
+	}
+
+	// Per-segment work: fan out when the engine parallelises a query
+	// across segments (Milvus), otherwise run them in sequence.
+	if e.IntraQueryParallel && len(qe.Segments) > 1 {
+		g := env.NewGroup()
+		for _, steps := range qe.Segments {
+			steps := steps
+			g.Go(e.Name+"/seg", func(ce *sim.Env) {
+				if e.readSlots != nil {
+					e.readSlots.Acquire(ce, 1)
+					defer e.readSlots.Release(1)
+				}
+				e.replaySteps(ce, steps)
+			})
+		}
+		g.Wait(env)
+	} else {
+		for _, steps := range qe.Segments {
+			e.replaySteps(env, steps)
+		}
+	}
+
+	// Server → client half of the round trip.
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+	e.served++
+	return nil
+}
+
+// replaySteps walks one segment's recorded steps: each step burns its CPU
+// on a core, then issues its page batch to the device in parallel (beam
+// semantics).
+func (e *Engine) replaySteps(env *sim.Env, steps []index.Step) {
+	for _, s := range steps {
+		if s.CPU > 0 {
+			e.cpu.Use(env, s.CPU)
+		}
+		if len(s.Pages) == 0 {
+			continue
+		}
+		if s.Contiguous {
+			e.dev.Read(env, s.Pages[0], len(s.Pages)*e.dev.Config().PageSize)
+		} else {
+			e.dev.ReadPages(env, s.Pages)
+		}
+	}
+}
+
+// RunInsert executes one insert in simulated time: request processing plus
+// a write-ahead-log append of the vector rounded up to page granularity.
+func (e *Engine) RunInsert(env *sim.Env, vectorBytes int) {
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+	e.cpu.Use(env, e.PerQueryCPU/2+10*time.Microsecond)
+	pageSize := e.dev.Config().PageSize
+	walBytes := ((vectorBytes + pageSize - 1) / pageSize) * pageSize
+	e.dev.Write(env, 0, walBytes)
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+}
+
+// RunDelete executes one delete: request processing plus a one-page
+// tombstone WAL record.
+func (e *Engine) RunDelete(env *sim.Env) {
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+	e.cpu.Use(env, e.PerQueryCPU/2+5*time.Microsecond)
+	e.dev.Write(env, 0, e.dev.Config().PageSize)
+	if e.RPCOverhead > 0 {
+		env.Sleep(e.RPCOverhead / 2)
+	}
+}

@@ -1,0 +1,209 @@
+// Package vec provides the float32 vector kernels used throughout the
+// benchmark: dot products, squared Euclidean distance, cosine similarity,
+// and normalisation. The inner loops are written with 4-way manual unrolling,
+// which the Go compiler turns into reasonably tight code; the simulated CPU
+// cost model (internal/sim) charges virtual time per dimension independently
+// of the host's real speed.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a distance (or similarity) function between two vectors.
+type Metric int
+
+const (
+	// L2 is squared Euclidean distance (smaller is closer).
+	L2 Metric = iota
+	// IP is negative inner product (smaller is closer), for maximum
+	// inner-product search.
+	IP
+	// Cosine is cosine distance 1-cos(a,b) (smaller is closer).
+	Cosine
+)
+
+func (m Metric) String() string {
+	switch m {
+	case L2:
+		return "L2"
+	case IP:
+		return "IP"
+	case Cosine:
+		return "COSINE"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Distance computes the metric between a and b; smaller is always closer.
+// The slices must have equal length.
+func Distance(m Metric, a, b []float32) float32 {
+	switch m {
+	case L2:
+		return L2Sq(a, b)
+	case IP:
+		return -Dot(a, b)
+	case Cosine:
+		return CosineDistance(a, b)
+	default:
+		panic("vec: unknown metric")
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// L2Sq returns the squared Euclidean distance between a and b.
+func L2Sq(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// CosineDistance returns 1 - cos(a, b). Zero vectors yield distance 1.
+func CosineDistance(a, b []float32) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - Dot(a, b)/(na*nb)
+}
+
+// Normalize scales a to unit length in place. Zero vectors are unchanged.
+func Normalize(a []float32) {
+	n := Norm(a)
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return out
+}
+
+// Add accumulates b into a element-wise.
+func Add(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Scale multiplies every element of a by s.
+func Scale(a []float32, s float32) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Matrix is a dense row-major collection of equal-dimension vectors backed by
+// one contiguous allocation, the storage format used by datasets and
+// indexes.
+type Matrix struct {
+	Dim  int
+	data []float32
+}
+
+// NewMatrix allocates an n×dim matrix of zeros.
+func NewMatrix(n, dim int) *Matrix {
+	return &Matrix{Dim: dim, data: make([]float32, n*dim)}
+}
+
+// MatrixFromRows builds a matrix by copying the given rows, which must all
+// have identical length.
+func MatrixFromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return &Matrix{}
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Dim {
+			panic(fmt.Sprintf("vec: row %d has dim %d, want %d", i, len(r), m.Dim))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Len returns the number of rows.
+func (m *Matrix) Len() int {
+	if m.Dim == 0 {
+		return 0
+	}
+	return len(m.data) / m.Dim
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.data[i*m.Dim : (i+1)*m.Dim : (i+1)*m.Dim]
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float32) {
+	copy(m.Row(i), v)
+}
+
+// Raw exposes the backing slice (rows concatenated) for serialisation.
+func (m *Matrix) Raw() []float32 { return m.data }
+
+// AppendRow grows the matrix by one row (copying v).
+func (m *Matrix) AppendRow(v []float32) {
+	if m.Dim == 0 {
+		m.Dim = len(v)
+	}
+	if len(v) != m.Dim {
+		panic(fmt.Sprintf("vec: append row dim %d, want %d", len(v), m.Dim))
+	}
+	m.data = append(m.data, v...)
+}

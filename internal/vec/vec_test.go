@@ -1,0 +1,239 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDotBasic(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotUnrollRemainder(t *testing.T) {
+	// Lengths around the 4-way unroll boundary.
+	for n := 0; n <= 9; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float32
+		for i := range a {
+			a[i] = float32(i + 1)
+			b[i] = float32(2 * (i + 1))
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); got != want {
+			t.Errorf("n=%d: Dot = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestL2SqBasic(t *testing.T) {
+	a := []float32{0, 0}
+	b := []float32{3, 4}
+	if got := L2Sq(a, b); got != 25 {
+		t.Errorf("L2Sq = %v, want 25", got)
+	}
+	if got := L2Sq(a, a); got != 0 {
+		t.Errorf("L2Sq(a,a) = %v, want 0", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched lengths")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := CosineDistance(a, b); !almostEqual(float64(got), 1, 1e-6) {
+		t.Errorf("orthogonal cosine distance = %v, want 1", got)
+	}
+	if got := CosineDistance(a, a); !almostEqual(float64(got), 0, 1e-6) {
+		t.Errorf("self cosine distance = %v, want 0", got)
+	}
+	if got := CosineDistance([]float32{0, 0}, a); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := []float32{3, 4}
+	Normalize(a)
+	if !almostEqual(float64(Norm(a)), 1, 1e-6) {
+		t.Errorf("norm after normalize = %v", Norm(a))
+	}
+	z := []float32{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero vector changed: %v", z)
+	}
+}
+
+func TestDistanceMetricDispatch(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{2, 4}
+	if got, want := Distance(L2, a, b), L2Sq(a, b); got != want {
+		t.Errorf("L2 dispatch = %v, want %v", got, want)
+	}
+	if got, want := Distance(IP, a, b), -Dot(a, b); got != want {
+		t.Errorf("IP dispatch = %v, want %v", got, want)
+	}
+	if got, want := Distance(Cosine, a, b), CosineDistance(a, b); got != want {
+		t.Errorf("Cosine dispatch = %v, want %v", got, want)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if L2.String() != "L2" || IP.String() != "IP" || Cosine.String() != "COSINE" {
+		t.Error("metric names wrong")
+	}
+	if Metric(99).String() != "Metric(99)" {
+		t.Error("unknown metric name wrong")
+	}
+}
+
+func randVec(r *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(r.NormFloat64())
+	}
+	return v
+}
+
+// Property: L2Sq(a,b) == Dot(a,a) - 2*Dot(a,b) + Dot(b,b).
+func TestPropertyL2Expansion(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(64)
+		a, b := randVec(r, n), randVec(r, n)
+		lhs := float64(L2Sq(a, b))
+		rhs := float64(Dot(a, a)) - 2*float64(Dot(a, b)) + float64(Dot(b, b))
+		return almostEqual(lhs, rhs, 1e-2*(1+math.Abs(rhs)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distances are symmetric and non-negative for L2 and Cosine.
+func TestPropertyMetricSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(32)
+		a, b := randVec(rr, n), randVec(rr, n)
+		if L2Sq(a, b) != L2Sq(b, a) {
+			return false
+		}
+		if L2Sq(a, b) < 0 {
+			return false
+		}
+		ca, cb := CosineDistance(a, b), CosineDistance(b, a)
+		return almostEqual(float64(ca), float64(cb), 1e-5) && ca > -1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Euclidean distance (on the square root).
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(32)
+		a, b, c := randVec(rr, n), randVec(rr, n), randVec(rr, n)
+		ab := math.Sqrt(float64(L2Sq(a, b)))
+		bc := math.Sqrt(float64(L2Sq(b, c)))
+		ac := math.Sqrt(float64(L2Sq(a, c)))
+		return ac <= ab+bc+1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 2)
+	m.SetRow(1, []float32{5, 6})
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want 3", m.Len())
+	}
+	if r := m.Row(1); r[0] != 5 || r[1] != 6 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	if r := m.Row(0); r[0] != 0 || r[1] != 0 {
+		t.Errorf("Row(0) = %v, want zeros", r)
+	}
+}
+
+func TestMatrixFromRowsAndAppend(t *testing.T) {
+	m := MatrixFromRows([][]float32{{1, 2}, {3, 4}})
+	m.AppendRow([]float32{5, 6})
+	if m.Len() != 3 || m.Row(2)[1] != 6 {
+		t.Errorf("matrix after append wrong: len=%d", m.Len())
+	}
+	var empty Matrix
+	if empty.Len() != 0 {
+		t.Error("empty matrix must have zero length")
+	}
+}
+
+func TestMatrixRowAliasing(t *testing.T) {
+	m := NewMatrix(2, 2)
+	r := m.Row(0)
+	r[0] = 42
+	if m.Row(0)[0] != 42 {
+		t.Error("Row must alias matrix storage")
+	}
+	// The 3-index slice must prevent append from clobbering row 1.
+	r = append(r, 99)
+	if m.Row(1)[0] == 99 {
+		t.Error("append through row alias clobbered next row")
+	}
+}
+
+func TestAddScaleClone(t *testing.T) {
+	a := []float32{1, 2}
+	b := Clone(a)
+	Add(a, []float32{10, 20})
+	if a[0] != 11 || a[1] != 22 {
+		t.Errorf("Add = %v", a)
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Errorf("Clone aliases source: %v", b)
+	}
+	Scale(b, 3)
+	if b[0] != 3 || b[1] != 6 {
+		t.Errorf("Scale = %v", b)
+	}
+}
+
+func BenchmarkDot768(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randVec(r, 768), randVec(r, 768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkL2Sq1536(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randVec(r, 1536), randVec(r, 1536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = L2Sq(x, y)
+	}
+}

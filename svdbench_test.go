@@ -1,0 +1,87 @@
+package svdbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd walks the complete public surface the way
+// examples/quickstart does: dataset → collection → direct search → recall →
+// record → simulate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec, err := CatalogSpec("cohere-small", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := GenerateDataset(spec)
+	if ds.Vectors.Dim != 768 {
+		t.Fatalf("dim = %d", ds.Vectors.Dim)
+	}
+	col, err := NewCollection("t", ds.Spec.Dim, ds.Spec.Metric, Milvus(), IndexDiskANN, DefaultBuildParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.BulkLoad(ds.Vectors, nil); err != nil {
+		t.Fatal(err)
+	}
+	var page int64
+	col.AssignStorage(func(n int64) int64 { p := page; page += n; return p })
+
+	opts := SearchOptions{SearchList: 10, BeamWidth: 4}
+	results := make([][]int32, ds.Queries.Len())
+	for qi := range results {
+		results[qi] = col.SearchDirect(ds.Queries.Row(qi), PaperK, opts, false).IDs
+	}
+	recall := MeanRecallAtK(results, ds.GroundTruth, PaperK)
+	if recall < 0.85 {
+		t.Errorf("recall = %v", recall)
+	}
+
+	execs := col.RecordQueries(ds.Queries, PaperK, opts)
+	out := RunWorkload(execs, Milvus(), RunConfig{Threads: 4, Duration: 100 * time.Millisecond, Repetitions: 1})
+	if out.Metrics.QPS <= 0 || out.Metrics.ReadMiBps <= 0 {
+		t.Errorf("simulation produced no work: %+v", out.Metrics)
+	}
+	if out.Metrics.Frac4KiB != 1 {
+		t.Errorf("4KiB fraction = %v", out.Metrics.Frac4KiB)
+	}
+}
+
+func TestPublicConstantsAndRegistry(t *testing.T) {
+	if len(PaperSetups()) != 7 {
+		t.Error("setups wrong")
+	}
+	if len(CatalogNames()) != 4 {
+		t.Error("catalog wrong")
+	}
+	if len(Experiments()) != 20 {
+		t.Error("registry wrong")
+	}
+	if _, err := ExperimentByID("fig2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := EngineByName("milvus"); err != nil {
+		t.Error(err)
+	}
+	for _, k := range []IndexKind{IndexIVFFlat, IndexIVFPQ, IndexHNSW, IndexHNSWSQ, IndexDiskANN} {
+		supported := false
+		for _, s := range PaperSetups() {
+			if s.Index == k {
+				supported = true
+			}
+		}
+		if !supported {
+			t.Errorf("index kind %s not covered by paper setups", k)
+		}
+	}
+}
+
+func TestNewBenchDefaults(t *testing.T) {
+	b := NewBench(ScaleTiny, "")
+	if b == nil {
+		t.Fatal("nil bench")
+	}
+	if _, err := b.Dataset("cohere-small"); err != nil {
+		t.Fatal(err)
+	}
+}
