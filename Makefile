@@ -1,0 +1,29 @@
+# svdbench build/verify targets. `make check` is the tier-1 verification
+# gate: vet, build, and the full test suite under the race detector (the
+# scheduler fans experiment cells across host goroutines, so every test run
+# doubles as a concurrency audit).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulation-heavy core suite by an order of
+# magnitude; give it headroom beyond go test's 10m default.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -4,47 +4,93 @@
 // Usage:
 //
 //	annbench -list
-//	annbench -experiment fig2 [-scale small] [-duration 2s] [-reps 3]
+//	annbench -experiment fig2 [-scale small] [-duration 2s] [-reps 3] [-parallel 8]
 //	annbench -experiment all -quick
 //
 // Results print as aligned text tables; EXPERIMENTS.md archives a full run.
+//
+// Exit codes: 0 on success, 2 on user error (unknown experiment or engine,
+// bad flags), 1 on internal failure. Ctrl-C cancels the run after the
+// in-flight experiment cells finish.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"svdbench/internal/core"
 	"svdbench/internal/dataset"
+	"svdbench/internal/vdb"
 )
 
+// Exit codes, in the sysexits spirit: user errors are distinguishable from
+// harness bugs so scripts can tell a typo from a broken build.
+const (
+	exitOK       = 0
+	exitInternal = 1
+	exitUsage    = 2
+)
+
+// errUsage marks bad flag combinations detected by run itself (as opposed to
+// the typed sentinels from core and vdb).
+var errUsage = errors.New("usage error")
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "annbench: %v\n", err)
-		os.Exit(1)
+	}
+	os.Exit(classify(err))
+}
+
+// classify maps an error from run to the process exit code. Typed sentinels
+// (core.ErrUnknownExperiment, vdb.ErrUnknownEngine, vdb.ErrBadParams) and
+// flag-parse failures are user errors; anything else is internal.
+func classify(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return exitOK
+	case errors.Is(err, core.ErrUnknownExperiment),
+		errors.Is(err, vdb.ErrUnknownEngine),
+		errors.Is(err, vdb.ErrBadParams),
+		errors.Is(err, errUsage):
+		return exitUsage
+	default:
+		return exitInternal
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("annbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		expID    = fs.String("experiment", "", "experiment id (see -list), or \"all\"")
 		scale    = fs.String("scale", string(dataset.ScaleSmall), "dataset scale: tiny, small, repro")
 		duration = fs.Duration("duration", 2*time.Second, "virtual measurement window per cell")
 		reps     = fs.Int("reps", 3, "repetitions per cell")
 		cores    = fs.Int("cores", 20, "simulated CPU cores (paper testbed: 20)")
+		parallel = fs.Int("parallel", 0, "host worker goroutines per experiment grid (0 = GOMAXPROCS)")
 		dataDir  = fs.String("data", defaultDataDir(), "dataset cache directory (empty disables caching)")
 		quick    = fs.Bool("quick", false, "tiny scale, 300ms cells, 1 repetition")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 
 	if *list {
@@ -56,19 +102,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *expID == "" {
 		fs.Usage()
-		return fmt.Errorf("-experiment required (or -list)")
+		return fmt.Errorf("%w: -experiment required (or -list)", errUsage)
 	}
 	if *quick {
 		*scale = string(dataset.ScaleTiny)
 		*duration = 300 * time.Millisecond
 		*reps = 1
 	}
+	switch dataset.Scale(*scale) {
+	case dataset.ScaleTiny, dataset.ScaleSmall, dataset.ScaleRepro:
+	default:
+		return fmt.Errorf("%w: unknown -scale %q (have tiny, small, repro)", errUsage, *scale)
+	}
 
 	b := core.NewBench(dataset.Scale(*scale), *dataDir)
 	b.RunDefaults = core.RunConfig{Duration: *duration, Repetitions: *reps, Cores: *cores}
+	b.Workers = *parallel
 	if !*quiet {
 		logger := log.New(stderr, "annbench: ", log.Ltime)
 		b.Logf = logger.Printf
+		b.OnProgress = func(p core.Progress) {
+			if p.Err != nil {
+				logger.Printf("cell %s failed: %v", p.Key, p.Err)
+				return
+			}
+			logger.Printf("cell %d/%d done (%s), eta %v", p.Done, p.Total, p.Key, p.ETA.Round(time.Second))
+		}
 	}
 
 	var ids []string
@@ -86,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "== %s (%s): %s [scale=%s duration=%v reps=%d]\n", exp.ID, exp.Paper, exp.Title, *scale, *duration, *reps)
 		start := time.Now()
-		if err := exp.Run(b, stdout); err != nil {
+		if err := exp.RunContext(ctx, b, stdout); err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
 		fmt.Fprintf(stdout, "== %s done in %v\n\n", exp.ID, time.Since(start).Round(time.Second))

@@ -2,13 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
 	"strings"
 	"testing"
+
+	"svdbench/internal/core"
+	"svdbench/internal/vdb"
 )
 
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"table1", "table2", "fig2", "fig15", "extA", "extD"} {
@@ -19,23 +26,69 @@ func TestRunList(t *testing.T) {
 }
 
 func TestRunRequiresExperiment(t *testing.T) {
-	if err := run(nil, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
-		t.Error("missing -experiment accepted")
+	err := run(context.Background(), nil, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("missing -experiment accepted")
+	}
+	if classify(err) != exitUsage {
+		t.Errorf("classify(%v) = %d, want %d", err, classify(err), exitUsage)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-experiment", "fig99", "-data", ""}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
-		t.Error("unknown experiment accepted")
+	err := run(context.Background(), []string{"-experiment", "fig99", "-data", ""}, &bytes.Buffer{}, &bytes.Buffer{})
+	if !errors.Is(err, core.ErrUnknownExperiment) {
+		t.Fatalf("err = %v, want ErrUnknownExperiment", err)
+	}
+	if classify(err) != exitUsage {
+		t.Errorf("classify(%v) = %d, want %d", err, classify(err), exitUsage)
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	err := run(context.Background(), []string{"-experiment", "table1", "-scale", "huge", "-data", ""}, &bytes.Buffer{}, &bytes.Buffer{})
+	if classify(err) != exitUsage {
+		t.Errorf("classify(%v) = %d, want %d", err, classify(err), exitUsage)
 	}
 }
 
 func TestRunTable1Quick(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-experiment", "table1", "-quick", "-quiet", "-data", ""}, &out, &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "table1", "-quick", "-quiet", "-data", ""}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "table1 done") {
 		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-experiment", "table1", "-quick", "-quiet", "-data", ""}, &bytes.Buffer{}, &bytes.Buffer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if classify(err) != exitInternal {
+		t.Errorf("classify(%v) = %d, want %d", err, classify(err), exitInternal)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{flag.ErrHelp, exitOK},
+		{fmt.Errorf("wrapped: %w", core.ErrUnknownExperiment), exitUsage},
+		{fmt.Errorf("wrapped: %w", vdb.ErrUnknownEngine), exitUsage},
+		{fmt.Errorf("wrapped: %w", vdb.ErrBadParams), exitUsage},
+		{errors.New("boom"), exitInternal},
+	}
+	for _, c := range cases {
+		if got := classify(c.err); got != c.want {
+			t.Errorf("classify(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }

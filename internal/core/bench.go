@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,6 +18,11 @@ import (
 // built (engine, index) stacks, tuned parameters, recorded executions, and
 // memoised run cells, so that every figure reuses the same artefacts exactly
 // like the paper's scripts reuse the same built indexes.
+//
+// All Bench state is safe for concurrent use: experiment cells fan out
+// across Scheduler workers, and every cache is a per-key singleflight — the
+// first goroutine asking for a dataset, stack or run cell computes it while
+// later askers block on that one computation instead of duplicating it.
 type Bench struct {
 	// Scale selects dataset sizes (see dataset.Scale).
 	Scale dataset.Scale
@@ -27,24 +33,66 @@ type Bench struct {
 	// RunDefaults is applied to every cell (threads and sweep-specific
 	// fields are overridden per cell).
 	RunDefaults RunConfig
+	// Workers bounds how many experiment cells execute concurrently on
+	// host goroutines (0 = runtime.GOMAXPROCS). Results are byte-identical
+	// at any worker count; see Scheduler.
+	Workers int
+	// OnProgress, when non-nil, receives one report per completed cell.
+	OnProgress func(Progress)
 
 	mu       sync.Mutex
-	datasets map[string]*dataset.Dataset
-	stacks   map[string]*Stack
-	prepared map[string]*prepared
-	runCache map[string]RunOutput
+	datasets map[string]*datasetEntry
+	stacks   map[string]*stackEntry
+	prepared map[string]*preparedEntry
+	runCache map[string]*runEntry
 }
+
+// Singleflight cache entries: the map slot is created under b.mu, the value
+// is computed exactly once under the entry's own sync.Once, and failed
+// computations evict their slot so a cancelled run never poisons a later
+// one.
+type (
+	datasetEntry struct {
+		once sync.Once
+		ds   *dataset.Dataset
+		err  error
+	}
+	stackEntry struct {
+		once sync.Once
+		st   *Stack
+		err  error
+	}
+	preparedEntry struct {
+		once sync.Once
+		p    *prepared
+		err  error
+	}
+	runEntry struct {
+		once sync.Once
+		out  RunOutput
+		err  error
+	}
+)
 
 // NewBench creates a bench at the given scale.
 func NewBench(scale dataset.Scale, cacheDir string) *Bench {
 	return &Bench{
 		Scale:    scale,
 		CacheDir: cacheDir,
-		datasets: map[string]*dataset.Dataset{},
-		stacks:   map[string]*Stack{},
-		prepared: map[string]*prepared{},
-		runCache: map[string]RunOutput{},
+		datasets: map[string]*datasetEntry{},
+		stacks:   map[string]*stackEntry{},
+		prepared: map[string]*preparedEntry{},
+		runCache: map[string]*runEntry{},
 	}
+}
+
+// runGrid executes cells through a scheduler configured from the bench's
+// Workers and OnProgress fields. Every experiment fans its measurement grid
+// out through here.
+func (b *Bench) runGrid(ctx context.Context, cells []cell) error {
+	s := NewScheduler(b.Workers)
+	s.OnProgress(b.OnProgress)
+	return s.Run(ctx, cells)
 }
 
 func (b *Bench) logf(format string, args ...interface{}) {
@@ -54,15 +102,45 @@ func (b *Bench) logf(format string, args ...interface{}) {
 }
 
 // Dataset loads (or generates and caches) a catalog dataset by paper name.
+// It is the context-free wrapper over DatasetContext.
 func (b *Bench) Dataset(name string) (*dataset.Dataset, error) {
+	return b.DatasetContext(context.Background(), name)
+}
+
+// DatasetContext is Dataset with cancellation. Concurrent calls for the same
+// name share one generation.
+func (b *Bench) DatasetContext(ctx context.Context, name string) (*dataset.Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b.mu.Lock()
-	if ds, ok := b.datasets[name]; ok {
-		b.mu.Unlock()
-		return ds, nil
+	e, ok := b.datasets[name]
+	if !ok {
+		e = &datasetEntry{}
+		b.datasets[name] = e
 	}
 	b.mu.Unlock()
+	e.once.Do(func() { e.ds, e.err = b.loadDataset(ctx, name) })
+	if e.err != nil {
+		b.evictDataset(name, e)
+	}
+	return e.ds, e.err
+}
+
+func (b *Bench) evictDataset(name string, e *datasetEntry) {
+	b.mu.Lock()
+	if b.datasets[name] == e {
+		delete(b.datasets, name)
+	}
+	b.mu.Unlock()
+}
+
+func (b *Bench) loadDataset(ctx context.Context, name string) (*dataset.Dataset, error) {
 	spec, err := dataset.CatalogSpec(name, b.Scale)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	b.logf("dataset %s: loading (n=%d dim=%d)", name, spec.N, spec.Dim)
@@ -72,9 +150,6 @@ func (b *Bench) Dataset(name string) (*dataset.Dataset, error) {
 		return nil, err
 	}
 	b.logf("dataset %s: ready in %v", name, time.Since(start).Round(time.Millisecond))
-	b.mu.Lock()
-	b.datasets[name] = ds
-	b.mu.Unlock()
 	return ds, nil
 }
 
@@ -108,8 +183,18 @@ type prepared struct {
 	col      *vdb.Collection
 	dataset  *dataset.Dataset
 	mu       sync.Mutex
-	variants map[string][]vdb.QueryExec
-	recalls  map[string]float64
+	variants map[string]*execsEntry
+}
+
+// execsEntry singleflights the recording (and recall computation) of one
+// search-option variant, so concurrent cells asking for the same options
+// share one RecordQueries pass.
+type execsEntry struct {
+	once  sync.Once
+	execs []vdb.QueryExec
+
+	recallOnce sync.Once
+	recall     float64
 }
 
 // stackKey identifies a stack in the bench cache.
@@ -121,10 +206,20 @@ func colKey(dsName string, setup vdb.Setup) string {
 }
 
 // Stack returns (building and tuning on first use) the prepared stack for a
-// dataset name and setup. Segmented engines get their segment capacity
-// rescaled to the bench's dataset scale so segment counts (and the O-14
-// fan-out behaviour they cause) match the paper's proportions.
+// dataset name and setup. It is the context-free wrapper over StackContext.
 func (b *Bench) Stack(dsName string, setup vdb.Setup) (*Stack, error) {
+	return b.StackContext(context.Background(), dsName, setup)
+}
+
+// StackContext is Stack with cancellation. Segmented engines get their
+// segment capacity rescaled to the bench's dataset scale so segment counts
+// (and the O-14 fan-out behaviour they cause) match the paper's
+// proportions. Concurrent calls for the same (dataset, setup) share one
+// build; calls for different setups build their stacks in parallel.
+func (b *Bench) StackContext(ctx context.Context, dsName string, setup vdb.Setup) (*Stack, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if setup.Engine.SegmentCapacity > 0 {
 		setup.Engine.SegmentCapacity = dataset.SegmentCapacityFor(b.Scale)
 	}
@@ -136,18 +231,31 @@ func (b *Bench) Stack(dsName string, setup vdb.Setup) (*Stack, error) {
 	}
 	key := stackKey(dsName, setup)
 	b.mu.Lock()
-	if s, ok := b.stacks[key]; ok {
-		b.mu.Unlock()
-		return s, nil
+	e, ok := b.stacks[key]
+	if !ok {
+		e = &stackEntry{}
+		b.stacks[key] = e
 	}
 	b.mu.Unlock()
+	e.once.Do(func() { e.st, e.err = b.buildStack(ctx, key, dsName, setup) })
+	if e.err != nil {
+		b.mu.Lock()
+		if b.stacks[key] == e {
+			delete(b.stacks, key)
+		}
+		b.mu.Unlock()
+	}
+	return e.st, e.err
+}
 
-	ds, err := b.Dataset(dsName)
+// buildStack is the singleflight body of StackContext.
+func (b *Bench) buildStack(ctx context.Context, key, dsName string, setup vdb.Setup) (*Stack, error) {
+	ds, err := b.DatasetContext(ctx, dsName)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	prep, err := b.prepare(dsName, ds, setup)
+	prep, err := b.prepare(ctx, dsName, ds, setup)
 	if err != nil {
 		return nil, err
 	}
@@ -161,31 +269,43 @@ func (b *Bench) Stack(dsName string, setup vdb.Setup) (*Stack, error) {
 		BuildTime:   buildTime,
 		prep:        prep,
 	}
-	if err := b.tune(st); err != nil {
+	if err := b.tune(ctx, st); err != nil {
 		return nil, err
 	}
 	b.logf("stack %s: tuned %s, recording executions", key, describeOpts(setup.Index, st.Opts))
 	st.Execs = st.ExecsFor(st.Opts)
 	st.Recall = recallOfExecs(st.Execs, ds.GroundTruth)
 	b.logf("stack %s: recall@10 = %.3f", key, st.Recall)
-
-	b.mu.Lock()
-	b.stacks[key] = st
-	b.mu.Unlock()
 	return st, nil
 }
 
 // prepare builds (or restores) the shared collection for a dataset and
-// setup, memoised by structural key.
-func (b *Bench) prepare(dsName string, ds *dataset.Dataset, setup vdb.Setup) (*prepared, error) {
+// setup, singleflighted by structural key.
+func (b *Bench) prepare(ctx context.Context, dsName string, ds *dataset.Dataset, setup vdb.Setup) (*prepared, error) {
 	ck := colKey(dsName, setup)
 	b.mu.Lock()
-	if p, ok := b.prepared[ck]; ok {
-		b.mu.Unlock()
-		return p, nil
+	e, ok := b.prepared[ck]
+	if !ok {
+		e = &preparedEntry{}
+		b.prepared[ck] = e
 	}
 	b.mu.Unlock()
+	e.once.Do(func() { e.p, e.err = b.buildPrepared(ctx, ck, ds, setup) })
+	if e.err != nil {
+		b.mu.Lock()
+		if b.prepared[ck] == e {
+			delete(b.prepared, ck)
+		}
+		b.mu.Unlock()
+	}
+	return e.p, e.err
+}
 
+// buildPrepared is the singleflight body of prepare.
+func (b *Bench) buildPrepared(ctx context.Context, ck string, ds *dataset.Dataset, setup vdb.Setup) (*prepared, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	col, _ := b.loadCachedCollection(ck, ds, setup)
 	if col == nil {
 		b.logf("collection %s: building", ck)
@@ -205,16 +325,11 @@ func (b *Bench) prepare(dsName string, ds *dataset.Dataset, setup vdb.Setup) (*p
 	}
 	var nextPage int64
 	col.AssignStorage(func(n int64) int64 { p := nextPage; nextPage += n; return p })
-	p := &prepared{
+	return &prepared{
 		col:      col,
 		dataset:  ds,
-		variants: map[string][]vdb.QueryExec{},
-		recalls:  map[string]float64{},
-	}
-	b.mu.Lock()
-	b.prepared[ck] = p
-	b.mu.Unlock()
-	return p, nil
+		variants: map[string]*execsEntry{},
+	}, nil
 }
 
 // PaperK is the result depth of every experiment (the paper evaluates
@@ -281,57 +396,69 @@ func recallOfExecs(execs []vdb.QueryExec, gt [][]int32) float64 {
 	return dataset.MeanRecallAtK(ids, gt, PaperK)
 }
 
-// ExecsFor returns recorded executions at the given search options,
-// memoised per option set (shared across engines with the same collection
-// structure).
-func (s *Stack) ExecsFor(opts index.SearchOptions) []vdb.QueryExec {
-	p := s.prep
+// variantEntry returns (creating on first use) the singleflight entry for
+// one option set.
+func (p *prepared) variantEntry(opts index.SearchOptions) *execsEntry {
 	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d", opts.NProbe, opts.EfSearch, opts.SearchList, opts.BeamWidth)
 	p.mu.Lock()
-	if e, ok := p.variants[key]; ok {
-		p.mu.Unlock()
-		return e
+	e, ok := p.variants[key]
+	if !ok {
+		e = &execsEntry{}
+		p.variants[key] = e
 	}
 	p.mu.Unlock()
-	execs := p.col.RecordQueries(p.dataset.Queries, PaperK, opts)
-	p.mu.Lock()
-	p.variants[key] = execs
-	p.mu.Unlock()
-	return execs
+	return e
+}
+
+// ExecsFor returns recorded executions at the given search options,
+// memoised per option set (shared across engines with the same collection
+// structure). Concurrent calls for the same options share one recording.
+func (s *Stack) ExecsFor(opts index.SearchOptions) []vdb.QueryExec {
+	p := s.prep
+	e := p.variantEntry(opts)
+	e.once.Do(func() { e.execs = p.col.RecordQueries(p.dataset.Queries, PaperK, opts) })
+	return e.execs
 }
 
 // RecallFor computes achieved recall at non-default options, memoised.
 func (s *Stack) RecallFor(opts index.SearchOptions) float64 {
 	p := s.prep
-	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d", opts.NProbe, opts.EfSearch, opts.SearchList, opts.BeamWidth)
-	p.mu.Lock()
-	if r, ok := p.recalls[key]; ok {
-		p.mu.Unlock()
-		return r
-	}
-	p.mu.Unlock()
-	r := recallOfExecs(s.ExecsFor(opts), p.dataset.GroundTruth)
-	p.mu.Lock()
-	p.recalls[key] = r
-	p.mu.Unlock()
-	return r
+	e := p.variantEntry(opts)
+	e.recallOnce.Do(func() { e.recall = recallOfExecs(s.ExecsFor(opts), p.dataset.GroundTruth) })
+	return e.recall
 }
 
-// RunCell executes (memoised) one measurement cell for a stack.
+// RunCell executes (memoised) one measurement cell for a stack. It is the
+// context-free wrapper over RunCellContext.
 func (b *Bench) RunCell(st *Stack, execs []vdb.QueryExec, cfg RunConfig, cellID string) RunOutput {
+	out, _ := b.RunCellContext(context.Background(), st, execs, cfg, cellID)
+	return out
+}
+
+// RunCellContext is RunCell with cancellation. Concurrent calls for the same
+// cell key share one simulation.
+func (b *Bench) RunCellContext(ctx context.Context, st *Stack, execs []vdb.QueryExec, cfg RunConfig, cellID string) (RunOutput, error) {
+	if err := ctx.Err(); err != nil {
+		return RunOutput{}, err
+	}
 	cfg = b.mergeDefaults(cfg)
 	key := fmt.Sprintf("%s/%s/t%d/d%v/mrc%d/%s", st.DatasetName, st.Setup.Label(), cfg.Threads, cfg.Duration, cfg.MaxReadConcurrent, cellID)
 	b.mu.Lock()
-	if out, ok := b.runCache[key]; ok {
-		b.mu.Unlock()
-		return out
+	e, ok := b.runCache[key]
+	if !ok {
+		e = &runEntry{}
+		b.runCache[key] = e
 	}
 	b.mu.Unlock()
-	out := Run(execs, st.Setup.Engine, cfg)
-	b.mu.Lock()
-	b.runCache[key] = out
-	b.mu.Unlock()
-	return out
+	e.once.Do(func() { e.out, e.err = RunContext(ctx, execs, st.Setup.Engine, cfg) })
+	if e.err != nil {
+		b.mu.Lock()
+		if b.runCache[key] == e {
+			delete(b.runCache, key)
+		}
+		b.mu.Unlock()
+	}
+	return e.out, e.err
 }
 
 func (b *Bench) mergeDefaults(cfg RunConfig) RunConfig {
@@ -371,7 +498,7 @@ var SearchListSweep = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 var BeamWidthSweep = []int{1, 2, 4, 8, 16, 32}
 
 // sortedKeys is a small test helper.
-func sortedKeys(m map[string][]vdb.QueryExec) []string {
+func sortedKeys(m map[string]*execsEntry) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

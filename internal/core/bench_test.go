@@ -192,7 +192,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("duplicate id %s", e.ID)
 		}
 		seen[e.ID] = true
-		if e.Run == nil || e.Paper == "" || e.Title == "" {
+		if e.run == nil || e.Paper == "" || e.Title == "" {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,15 +18,33 @@ import (
 // concurrent insert/delete stream. Writes occupy the SSD's shared bus (NAND
 // read/write interference) and burn CPU, degrading search throughput and
 // tail latency as the write rate grows.
-func runExtA(b *Bench, w io.Writer) error {
-	st, err := b.Stack("cohere-small", milvusDiskANN())
+func runExtA(ctx context.Context, b *Bench, w io.Writer) error {
+	st, err := b.StackContext(ctx, "cohere-small", milvusDiskANN())
 	if err != nil {
+		return err
+	}
+	writerCounts := []int{0, 4, 16, 64, 128}
+	results := make([]Metrics, len(writerCounts))
+	cells := make([]cell, len(writerCounts))
+	for i, writers := range writerCounts {
+		i, writers := i, writers
+		cells[i] = cell{
+			key: fmt.Sprintf("extA/writers=%d", writers),
+			run: func(ctx context.Context) error {
+				// Each cell spins up a private simulated stack inside
+				// runHybrid, so cells are independent and parallel-safe.
+				results[i] = runHybrid(st, 16, writers, b.mergeDefaults(RunConfig{}))
+				return nil
+			},
+		}
+	}
+	if err := b.runGrid(ctx, cells); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "# Milvus-DiskANN search under concurrent writes (16 query threads)")
 	tw := table(w, "writer threads", "QPS", "P99 (µs)", "read MiB/s", "write MiB/s")
-	for _, writers := range []int{0, 4, 16, 64, 128} {
-		m := runHybrid(st, 16, writers, b.mergeDefaults(RunConfig{}))
+	for i, writers := range writerCounts {
+		m := results[i]
 		row(tw, writers,
 			fmt.Sprintf("%.1f", m.QPS),
 			fmtDur(m.P99),
@@ -97,8 +116,8 @@ func runHybrid(st *Stack, queryThreads, writerThreads int, cfg RunConfig) Metric
 // runExtB measures filtered search (payload predicate pushdown): recall
 // against filtered ground truth and the work amplification caused by
 // discarding candidates inside the traversal.
-func runExtB(b *Bench, w io.Writer) error {
-	ds, err := b.Dataset("cohere-small")
+func runExtB(ctx context.Context, b *Bench, w io.Writer) error {
+	ds, err := b.DatasetContext(ctx, "cohere-small")
 	if err != nil {
 		return err
 	}
@@ -132,6 +151,9 @@ func runExtB(b *Bench, w io.Writer) error {
 	}
 	tw := table(w, "filter", "recall@10", "mean dist comps", "QPS (16 threads)")
 	for _, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		gt := filteredGroundTruth(ds, c.accept)
 		opts := index.SearchOptions{EfSearch: 128, Filter: c.filter}
 		execs := col.RecordQueries(ds.Queries, PaperK, opts)
@@ -143,7 +165,10 @@ func runExtB(b *Bench, w io.Writer) error {
 			res := col.Segments()[0].Index.Search(ds.Queries.Row(qi), PaperK, opts)
 			comps += res.Stats.DistComps
 		}
-		out := Run(execs, vdb.Qdrant(), b.mergeDefaults(RunConfig{Threads: 16}))
+		out, err := RunContext(ctx, execs, vdb.Qdrant(), b.mergeDefaults(RunConfig{Threads: 16}))
+		if err != nil {
+			return err
+		}
 		row(tw, c.name,
 			fmt.Sprintf("%.3f", recall),
 			comps/n,
@@ -183,17 +208,20 @@ func vecSubset(ds *dataset.Dataset, rows []int) *vec.Matrix {
 
 // runExtC reports the design ablations DESIGN.md calls out: beam search vs
 // best-first (W=1), and Milvus's segmentation vs a monolithic build.
-func runExtC(b *Bench, w io.Writer) error {
+func runExtC(ctx context.Context, b *Bench, w io.Writer) error {
 	// Ablation 1: beam width on cohere-small, 1 thread.
-	st, err := b.Stack("cohere-small", milvusDiskANN())
+	st, err := b.StackContext(ctx, "cohere-small", milvusDiskANN())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "# Ablation 1 — beam search vs best-first (search_list=100, 1 thread)")
 	tw := table(w, "beam width", "QPS", "P99 (µs)", "KiB/query")
 	for _, W := range []int{1, 4} {
-		execs := st.ExecsFor(index.SearchOptions{SearchList: 100, BeamWidth: W})
-		out := b.RunCell(st, execs, RunConfig{Threads: 1}, fmt.Sprintf("extC-W%d", W))
+		execs := st.ExecsFor(index.NewSearchOptions(index.WithSearchList(100), index.WithBeamWidth(W)))
+		out, err := b.RunCellContext(ctx, st, execs, RunConfig{Threads: 1}, fmt.Sprintf("extC-W%d", W))
+		if err != nil {
+			return err
+		}
 		row(tw, W, fmt.Sprintf("%.1f", out.Metrics.QPS), fmtDur(out.Metrics.P99),
 			fmt.Sprintf("%.1f", out.Metrics.KiBPerQuery()))
 	}
@@ -206,20 +234,23 @@ func runExtC(b *Bench, w io.Writer) error {
 	// dataset — segmentation is the mechanism behind O-14's per-query
 	// bandwidth growth.
 	fmt.Fprintln(w, "# Ablation 2 — Milvus segmentation vs monolithic (cohere-large, DiskANN)")
-	seg, err := b.Stack("cohere-large", milvusDiskANN())
+	seg, err := b.StackContext(ctx, "cohere-large", milvusDiskANN())
 	if err != nil {
 		return err
 	}
 	mono := vdb.Milvus()
 	mono.Name = "milvus-monolithic"
 	mono.SegmentCapacity = 0
-	monoStack, err := b.Stack("cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
+	monoStack, err := b.StackContext(ctx, "cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
 	if err != nil {
 		return err
 	}
 	tw = table(w, "layout", "segments", "QPS (t=16)", "P99 (µs)", "KiB/query", "recall@10")
 	for _, s := range []*Stack{seg, monoStack} {
-		out := b.RunCell(s, s.Execs, RunConfig{Threads: 16}, "extC-seg")
+		out, err := b.RunCellContext(ctx, s, s.Execs, RunConfig{Threads: 16}, "extC-seg")
+		if err != nil {
+			return err
+		}
 		row(tw, s.Setup.Engine.Name, len(s.Col.Segments()),
 			fmt.Sprintf("%.1f", out.Metrics.QPS), fmtDur(out.Metrics.P99),
 			fmt.Sprintf("%.1f", out.Metrics.KiBPerQuery()),

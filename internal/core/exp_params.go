@@ -1,56 +1,93 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"svdbench/internal/index"
+	"svdbench/internal/vdb"
 )
 
 // searchListOpts returns the DiskANN options of one Fig. 7–11 sweep point.
 func searchListOpts(L int) index.SearchOptions {
-	return index.SearchOptions{SearchList: L, BeamWidth: 4}
+	return index.NewSearchOptions(index.WithSearchList(L), index.WithBeamWidth(4))
 }
 
 // beamWidthOpts returns the DiskANN options of one Fig. 12–15 sweep point.
 // As in the paper (Sec. VI-B), search_list is fixed at 100 so candidate
 // availability does not bottleneck the beam.
 func beamWidthOpts(W int) index.SearchOptions {
-	return index.SearchOptions{SearchList: 100, BeamWidth: W}
+	return index.NewSearchOptions(index.WithSearchList(100), index.WithBeamWidth(W))
 }
 
-// sweepSearchList measures one dataset across the search_list ladder at the
-// given concurrency.
-func (b *Bench) sweepSearchList(dsName string, threads int) (map[int]Metrics, error) {
-	st, err := b.Stack(dsName, milvusDiskANN())
-	if err != nil {
+// diskannSweep measures every dataset across a DiskANN parameter ladder as
+// one flattened scheduler grid: each (dataset, value) pair is its own cell,
+// so the whole figure's measurement fans out over host workers instead of
+// serialising per dataset. Results are keyed dataset → swept value.
+func (b *Bench) diskannSweep(ctx context.Context, vals []int,
+	optsFor func(int) index.SearchOptions, cfgFor func(int) RunConfig,
+	cellIDFor func(int) string) (map[string]map[int]Metrics, error) {
+
+	type point struct {
+		ds  string
+		val int
+	}
+	var pts []point
+	for _, dsName := range paperDatasets() {
+		for _, v := range vals {
+			pts = append(pts, point{dsName, v})
+		}
+	}
+	outs := make([]Metrics, len(pts))
+	cells := make([]cell, len(pts))
+	for i, p := range pts {
+		i, p := i, p
+		cells[i] = cell{
+			key: fmt.Sprintf("%s/%s", p.ds, cellIDFor(p.val)),
+			run: func(ctx context.Context) error {
+				st, err := b.StackContext(ctx, p.ds, milvusDiskANN())
+				if err != nil {
+					return err
+				}
+				execs := st.ExecsFor(optsFor(p.val))
+				res, err := b.RunCellContext(ctx, st, execs, cfgFor(p.val), cellIDFor(p.val))
+				outs[i] = res.Metrics
+				return err
+			},
+		}
+	}
+	if err := b.runGrid(ctx, cells); err != nil {
 		return nil, err
 	}
-	out := map[int]Metrics{}
-	for _, L := range SearchListSweep {
-		execs := st.ExecsFor(searchListOpts(L))
-		res := b.RunCell(st, execs, RunConfig{Threads: threads}, fmt.Sprintf("figSL-%d", L))
-		out[L] = res.Metrics
+	res := map[string]map[int]Metrics{}
+	for i, p := range pts {
+		if res[p.ds] == nil {
+			res[p.ds] = map[int]Metrics{}
+		}
+		res[p.ds][p.val] = outs[i]
 	}
-	return out, nil
+	return res, nil
 }
 
-// sweepBeamWidth measures one dataset across the beam_width ladder. The
+// sweepSearchList measures all datasets across the search_list ladder at the
+// given concurrency.
+func (b *Bench) sweepSearchList(ctx context.Context, threads int) (map[string]map[int]Metrics, error) {
+	return b.diskannSweep(ctx, SearchListSweep,
+		searchListOpts,
+		func(int) RunConfig { return RunConfig{Threads: threads} },
+		func(L int) string { return fmt.Sprintf("figSL-%d", L) })
+}
+
+// sweepBeamWidth measures all datasets across the beam_width ladder. The
 // paper raises Milvus's maxReadConcurrentRatio for this experiment so the
 // beam is never starved of scheduler slots; the equivalent here is raising
 // the segment-task pool well beyond the core count.
-func (b *Bench) sweepBeamWidth(dsName string, threads int) (map[int]Metrics, error) {
-	st, err := b.Stack(dsName, milvusDiskANN())
-	if err != nil {
-		return nil, err
-	}
-	out := map[int]Metrics{}
-	for _, W := range BeamWidthSweep {
-		execs := st.ExecsFor(beamWidthOpts(W))
-		res := b.RunCell(st, execs, RunConfig{Threads: threads, MaxReadConcurrent: 256}, fmt.Sprintf("figBW-%d", W))
-		out[W] = res.Metrics
-	}
-	return out, nil
+func (b *Bench) sweepBeamWidth(ctx context.Context, threads int) (map[string]map[int]Metrics, error) {
+	return b.diskannSweep(ctx, BeamWidthSweep,
+		beamWidthOpts,
+		func(int) RunConfig { return RunConfig{Threads: threads, MaxReadConcurrent: 256} },
+		func(W int) string { return fmt.Sprintf("figBW-%d", W) })
 }
 
 func sweepHeader(vals []int, prefix string) []interface{} {
@@ -62,18 +99,18 @@ func sweepHeader(vals []int, prefix string) []interface{} {
 }
 
 // runFig7 prints DiskANN throughput across search_list at 1 and 256 threads.
-func runFig7(b *Bench, w io.Writer) error {
+func runFig7(ctx context.Context, b *Bench, w io.Writer) error {
 	for _, threads := range []int{1, 256} {
+		sweep, err := b.sweepSearchList(ctx, threads)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Milvus-DiskANN throughput (QPS) vs search_list, threads=%d\n", threads)
 		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
 		for _, dsName := range paperDatasets() {
-			cells, err := b.sweepSearchList(dsName, threads)
-			if err != nil {
-				return err
-			}
 			cols := []interface{}{dsName}
 			for _, L := range SearchListSweep {
-				cols = append(cols, fmt.Sprintf("%.1f", cells[L].QPS))
+				cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][L].QPS))
 			}
 			row(tw, cols...)
 		}
@@ -86,17 +123,17 @@ func runFig7(b *Bench, w io.Writer) error {
 }
 
 // runFig8 prints DiskANN P99 latency across search_list with one thread.
-func runFig8(b *Bench, w io.Writer) error {
+func runFig8(ctx context.Context, b *Bench, w io.Writer) error {
+	sweep, err := b.sweepSearchList(ctx, 1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN P99 latency (µs) vs search_list, threads=1")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
 	for _, dsName := range paperDatasets() {
-		cells, err := b.sweepSearchList(dsName, 1)
-		if err != nil {
-			return err
-		}
 		cols := []interface{}{dsName}
 		for _, L := range SearchListSweep {
-			cols = append(cols, fmtDur(cells[L].P99))
+			cols = append(cols, fmtDur(sweep[dsName][L].P99))
 		}
 		row(tw, cols...)
 	}
@@ -105,11 +142,14 @@ func runFig8(b *Bench, w io.Writer) error {
 
 // runFig9 prints recall@10 across search_list (pure algorithm property, no
 // simulation involved).
-func runFig9(b *Bench, w io.Writer) error {
+func runFig9(ctx context.Context, b *Bench, w io.Writer) error {
+	if err := b.prefetchStacks(ctx, paperDatasets(), []vdb.Setup{milvusDiskANN()}); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN recall@10 vs search_list")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
 	for _, dsName := range paperDatasets() {
-		st, err := b.Stack(dsName, milvusDiskANN())
+		st, err := b.StackContext(ctx, dsName, milvusDiskANN())
 		if err != nil {
 			return err
 		}
@@ -124,18 +164,18 @@ func runFig9(b *Bench, w io.Writer) error {
 
 // runFig10 prints total read bandwidth across search_list at 1 and 256
 // threads.
-func runFig10(b *Bench, w io.Writer) error {
+func runFig10(ctx context.Context, b *Bench, w io.Writer) error {
 	for _, threads := range []int{1, 256} {
+		sweep, err := b.sweepSearchList(ctx, threads)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Milvus-DiskANN read bandwidth (MiB/s) vs search_list, threads=%d\n", threads)
 		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
 		for _, dsName := range paperDatasets() {
-			cells, err := b.sweepSearchList(dsName, threads)
-			if err != nil {
-				return err
-			}
 			cols := []interface{}{dsName}
 			for _, L := range SearchListSweep {
-				cols = append(cols, fmt.Sprintf("%.1f", cells[L].ReadMiBps))
+				cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][L].ReadMiBps))
 			}
 			row(tw, cols...)
 		}
@@ -148,18 +188,18 @@ func runFig10(b *Bench, w io.Writer) error {
 }
 
 // runFig11 prints per-query average bandwidth across search_list.
-func runFig11(b *Bench, w io.Writer) error {
+func runFig11(ctx context.Context, b *Bench, w io.Writer) error {
 	for _, threads := range []int{1, 256} {
+		sweep, err := b.sweepSearchList(ctx, threads)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# Milvus-DiskANN per-query read volume (KiB/query) vs search_list, threads=%d\n", threads)
 		tw := table(w, append([]interface{}{"dataset"}, sweepHeader(SearchListSweep, "L")...)...)
 		for _, dsName := range paperDatasets() {
-			cells, err := b.sweepSearchList(dsName, threads)
-			if err != nil {
-				return err
-			}
 			cols := []interface{}{dsName}
 			for _, L := range SearchListSweep {
-				cols = append(cols, fmt.Sprintf("%.1f", cells[L].KiBPerQuery()))
+				cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][L].KiBPerQuery()))
 			}
 			row(tw, cols...)
 		}
@@ -173,17 +213,17 @@ func runFig11(b *Bench, w io.Writer) error {
 
 // runFig12 prints throughput across beam_width (threads=1, as in the
 // artifact's var-bwidth runs).
-func runFig12(b *Bench, w io.Writer) error {
+func runFig12(ctx context.Context, b *Bench, w io.Writer) error {
+	sweep, err := b.sweepBeamWidth(ctx, 1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN throughput (QPS) vs beam_width, search_list=100, threads=1")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
 	for _, dsName := range paperDatasets() {
-		cells, err := b.sweepBeamWidth(dsName, 1)
-		if err != nil {
-			return err
-		}
 		cols := []interface{}{dsName}
 		for _, W := range BeamWidthSweep {
-			cols = append(cols, fmt.Sprintf("%.1f", cells[W].QPS))
+			cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][W].QPS))
 		}
 		row(tw, cols...)
 	}
@@ -191,17 +231,17 @@ func runFig12(b *Bench, w io.Writer) error {
 }
 
 // runFig13 prints P99 latency across beam_width.
-func runFig13(b *Bench, w io.Writer) error {
+func runFig13(ctx context.Context, b *Bench, w io.Writer) error {
+	sweep, err := b.sweepBeamWidth(ctx, 1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN P99 latency (µs) vs beam_width, search_list=100, threads=1")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
 	for _, dsName := range paperDatasets() {
-		cells, err := b.sweepBeamWidth(dsName, 1)
-		if err != nil {
-			return err
-		}
 		cols := []interface{}{dsName}
 		for _, W := range BeamWidthSweep {
-			cols = append(cols, fmtDur(cells[W].P99))
+			cols = append(cols, fmtDur(sweep[dsName][W].P99))
 		}
 		row(tw, cols...)
 	}
@@ -209,17 +249,17 @@ func runFig13(b *Bench, w io.Writer) error {
 }
 
 // runFig14 prints total read bandwidth across beam_width.
-func runFig14(b *Bench, w io.Writer) error {
+func runFig14(ctx context.Context, b *Bench, w io.Writer) error {
+	sweep, err := b.sweepBeamWidth(ctx, 1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN read bandwidth (MiB/s) vs beam_width, search_list=100, threads=1")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
 	for _, dsName := range paperDatasets() {
-		cells, err := b.sweepBeamWidth(dsName, 1)
-		if err != nil {
-			return err
-		}
 		cols := []interface{}{dsName}
 		for _, W := range BeamWidthSweep {
-			cols = append(cols, fmt.Sprintf("%.1f", cells[W].ReadMiBps))
+			cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][W].ReadMiBps))
 		}
 		row(tw, cols...)
 	}
@@ -227,17 +267,17 @@ func runFig14(b *Bench, w io.Writer) error {
 }
 
 // runFig15 prints per-query bandwidth across beam_width.
-func runFig15(b *Bench, w io.Writer) error {
+func runFig15(ctx context.Context, b *Bench, w io.Writer) error {
+	sweep, err := b.sweepBeamWidth(ctx, 1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Milvus-DiskANN per-query read volume (KiB/query) vs beam_width, search_list=100, threads=1")
 	tw := table(w, append([]interface{}{"dataset"}, sweepHeader(BeamWidthSweep, "W")...)...)
 	for _, dsName := range paperDatasets() {
-		cells, err := b.sweepBeamWidth(dsName, 1)
-		if err != nil {
-			return err
-		}
 		cols := []interface{}{dsName}
 		for _, W := range BeamWidthSweep {
-			cols = append(cols, fmt.Sprintf("%.1f", cells[W].KiBPerQuery()))
+			cols = append(cols, fmt.Sprintf("%.1f", sweep[dsName][W].KiBPerQuery()))
 		}
 		row(tw, cols...)
 	}

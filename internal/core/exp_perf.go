@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -15,21 +16,37 @@ import (
 // concurrent requests on four cores, and 128 KiB sequential bandwidth with
 // 32 threads. The paper's measured values were 324.3 KIOPS, 1.3 MIOPS and
 // 7.2 GiB/s on the Samsung 990 Pro.
-func runTable1(b *Bench, w io.Writer) error {
-	type cell struct {
+func runTable1(ctx context.Context, b *Bench, w io.Writer) error {
+	type cal struct {
 		name            string
 		cores, jobs, sz int
 		paper           string
 	}
-	cells := []cell{
+	cals := []cal{
 		{"4KiB randread, 1 core, qd256", 1, 256, 4096, "324.3 KIOPS"},
 		{"4KiB randread, 4 cores, qd64", 4, 64, 4096, "1.3 MIOPS"},
 		{"128KiB seqread, 32 threads", 20, 32, 128 * 1024, "7.2 GiB/s"},
 	}
+	type point struct{ iops, mibps float64 }
+	results := make([]point, len(cals))
+	cells := make([]cell, len(cals))
+	for i, c := range cals {
+		i, c := i, c
+		cells[i] = cell{
+			key: "table1/" + c.name,
+			run: func(ctx context.Context) error {
+				iops, mibps := fioLike(c.cores, c.jobs, c.sz, 500*time.Millisecond)
+				results[i] = point{iops, mibps}
+				return nil
+			},
+		}
+	}
+	if err := b.runGrid(ctx, cells); err != nil {
+		return err
+	}
 	tw := table(w, "workload", "paper", "measured IOPS", "measured MiB/s")
-	for _, c := range cells {
-		iops, mibps := fioLike(c.cores, c.jobs, c.sz, 500*time.Millisecond)
-		row(tw, c.name, c.paper, fmt.Sprintf("%.0f", iops), fmt.Sprintf("%.0f", mibps))
+	for i, c := range cals {
+		row(tw, c.name, c.paper, fmt.Sprintf("%.0f", results[i].iops), fmt.Sprintf("%.0f", results[i].mibps))
 	}
 	return tw.Flush()
 }
@@ -54,31 +71,61 @@ func fioLike(cores, jobs, reqBytes int, dur sim.Duration) (iops, mibps float64) 
 	return float64(ops) / secs, float64(ops) * float64(reqBytes) / (1 << 20) / secs
 }
 
+// prefetchStacks builds the given (dataset, setup) stacks as one scheduler
+// grid so independent index builds run on parallel host workers; results
+// land in the bench cache for the sequential rendering pass that follows.
+func (b *Bench) prefetchStacks(ctx context.Context, dsNames []string, setups []vdb.Setup) error {
+	var cells []cell
+	for _, dsName := range dsNames {
+		for _, setup := range setups {
+			dsName, setup := dsName, setup
+			cells = append(cells, cell{
+				key: "stack/" + dsName + "/" + setup.Label(),
+				run: func(ctx context.Context) error {
+					_, err := b.StackContext(ctx, dsName, setup)
+					return err
+				},
+			})
+		}
+	}
+	return b.runGrid(ctx, cells)
+}
+
 // runTable2 reproduces Table II: per dataset, the tuned search-time
 // parameter and achieved recall@10 of every index.
-func runTable2(b *Bench, w io.Writer) error {
+func runTable2(ctx context.Context, b *Bench, w io.Writer) error {
+	setups := []vdb.Setup{
+		{Engine: vdb.Milvus(), Index: vdb.IndexIVFFlat},
+		{Engine: vdb.Milvus(), Index: vdb.IndexHNSW},
+		{Engine: vdb.LanceDB(), Index: vdb.IndexHNSWSQ},
+		milvusDiskANN(),
+		{Engine: vdb.LanceDB(), Index: vdb.IndexIVFPQ},
+	}
+	if err := b.prefetchStacks(ctx, paperDatasets(), setups); err != nil {
+		return err
+	}
 	tw := table(w, "dataset", "ivf nlist", "ivf nprobe", "ivf acc", "hnsw efSearch", "hnsw acc",
 		"efSearch (lancedb)", "lancedb acc", "diskann search_list", "diskann acc")
 	for _, dsName := range paperDatasets() {
-		ivfStack, err := b.Stack(dsName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexIVFFlat})
+		ivfStack, err := b.StackContext(ctx, dsName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexIVFFlat})
 		if err != nil {
 			return err
 		}
-		hnswStack, err := b.Stack(dsName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexHNSW})
+		hnswStack, err := b.StackContext(ctx, dsName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexHNSW})
 		if err != nil {
 			return err
 		}
-		lanceStack, err := b.Stack(dsName, vdb.Setup{Engine: vdb.LanceDB(), Index: vdb.IndexHNSWSQ})
+		lanceStack, err := b.StackContext(ctx, dsName, vdb.Setup{Engine: vdb.LanceDB(), Index: vdb.IndexHNSWSQ})
 		if err != nil {
 			return err
 		}
-		daStack, err := b.Stack(dsName, milvusDiskANN())
+		daStack, err := b.StackContext(ctx, dsName, milvusDiskANN())
 		if err != nil {
 			return err
 		}
 		// Also report LanceDB-IVF achieved accuracy (parenthesised in the
 		// paper because the target is unreachable under PQ).
-		lanceIVF, err := b.Stack(dsName, vdb.Setup{Engine: vdb.LanceDB(), Index: vdb.IndexIVFPQ})
+		lanceIVF, err := b.StackContext(ctx, dsName, vdb.Setup{Engine: vdb.LanceDB(), Index: vdb.IndexIVFPQ})
 		if err != nil {
 			return err
 		}
@@ -103,32 +150,74 @@ func runTable2(b *Bench, w io.Writer) error {
 	return tw.Flush()
 }
 
-// sweepFig234 runs (or reuses) the shared Figure 2/3/4 thread sweep for one
-// dataset and setup.
-func (b *Bench) sweepFig234(dsName string, setup vdb.Setup) (map[int]Metrics, error) {
-	st, err := b.Stack(dsName, setup)
-	if err != nil {
+// fig234Sweeps runs the full Figures 2–4 measurement grid — every requested
+// dataset × setup × thread count — as one scheduler fan-out, so stack builds
+// and simulation cells overlap across host workers. Results come back keyed
+// as dataset → setup label → threads; cells are memoised, so the three
+// figures share one grid's work.
+func (b *Bench) fig234Sweeps(ctx context.Context, dsNames []string, setups []vdb.Setup) (map[string]map[string]map[int]Metrics, error) {
+	type point struct {
+		ds      string
+		setup   vdb.Setup
+		threads int
+	}
+	var pts []point
+	for _, dsName := range dsNames {
+		for _, setup := range setups {
+			for _, threads := range ThreadSweep {
+				pts = append(pts, point{dsName, setup, threads})
+			}
+		}
+	}
+	outs := make([]RunOutput, len(pts))
+	cells := make([]cell, len(pts))
+	for i, p := range pts {
+		i, p := i, p
+		cells[i] = cell{
+			key: fmt.Sprintf("%s/%s/t=%d", p.ds, p.setup.Label(), p.threads),
+			run: func(ctx context.Context) error {
+				st, err := b.StackContext(ctx, p.ds, p.setup)
+				if err != nil {
+					return err
+				}
+				out, err := b.RunCellContext(ctx, st, st.Execs, RunConfig{Threads: p.threads}, "fig234")
+				outs[i] = out
+				return err
+			},
+		}
+	}
+	if err := b.runGrid(ctx, cells); err != nil {
 		return nil, err
 	}
-	out := map[int]Metrics{}
-	for _, threads := range ThreadSweep {
-		res := b.RunCell(st, st.Execs, RunConfig{Threads: threads}, "fig234")
-		out[threads] = res.Metrics
+	res := map[string]map[string]map[int]Metrics{}
+	for i, p := range pts {
+		byDS := res[p.ds]
+		if byDS == nil {
+			byDS = map[string]map[int]Metrics{}
+			res[p.ds] = byDS
+		}
+		bySetup := byDS[p.setup.Label()]
+		if bySetup == nil {
+			bySetup = map[int]Metrics{}
+			byDS[p.setup.Label()] = bySetup
+		}
+		bySetup[p.threads] = outs[i].Metrics
 	}
-	return out, nil
+	return res, nil
 }
 
 // runFig2 prints throughput (QPS) per setup per dataset across the thread
 // ladder.
-func runFig2(b *Bench, w io.Writer) error {
+func runFig2(ctx context.Context, b *Bench, w io.Writer) error {
+	sweeps, err := b.fig234Sweeps(ctx, paperDatasets(), setupsForFigure2())
+	if err != nil {
+		return err
+	}
 	for _, dsName := range paperDatasets() {
 		fmt.Fprintf(w, "# %s — throughput (QPS), higher is better\n", dsName)
 		tw := table(w, append([]interface{}{"setup"}, threadsHeader()...)...)
 		for _, setup := range setupsForFigure2() {
-			cells, err := b.sweepFig234(dsName, setup)
-			if err != nil {
-				return err
-			}
+			cells := sweeps[dsName][setup.Label()]
 			cols := []interface{}{setup.Label()}
 			for _, t := range ThreadSweep {
 				cols = append(cols, failLabel(cells[t]))
@@ -144,15 +233,16 @@ func runFig2(b *Bench, w io.Writer) error {
 }
 
 // runFig3 prints P99 latency (µs).
-func runFig3(b *Bench, w io.Writer) error {
+func runFig3(ctx context.Context, b *Bench, w io.Writer) error {
+	sweeps, err := b.fig234Sweeps(ctx, paperDatasets(), setupsForFigure2())
+	if err != nil {
+		return err
+	}
 	for _, dsName := range paperDatasets() {
 		fmt.Fprintf(w, "# %s — P99 latency (µs), lower is better\n", dsName)
 		tw := table(w, append([]interface{}{"setup"}, threadsHeader()...)...)
 		for _, setup := range setupsForFigure2() {
-			cells, err := b.sweepFig234(dsName, setup)
-			if err != nil {
-				return err
-			}
+			cells := sweeps[dsName][setup.Label()]
 			cols := []interface{}{setup.Label()}
 			for _, t := range ThreadSweep {
 				m := cells[t]
@@ -174,15 +264,17 @@ func runFig3(b *Bench, w io.Writer) error {
 
 // runFig4 prints global CPU utilisation (%) for the two large datasets, as
 // in the paper.
-func runFig4(b *Bench, w io.Writer) error {
-	for _, dsName := range []string{"cohere-large", "openai-large"} {
+func runFig4(ctx context.Context, b *Bench, w io.Writer) error {
+	largeDatasets := []string{"cohere-large", "openai-large"}
+	sweeps, err := b.fig234Sweeps(ctx, largeDatasets, setupsForFigure2())
+	if err != nil {
+		return err
+	}
+	for _, dsName := range largeDatasets {
 		fmt.Fprintf(w, "# %s — global CPU usage (%%), 100 = all cores busy\n", dsName)
 		tw := table(w, append([]interface{}{"setup"}, threadsHeader()...)...)
 		for _, setup := range setupsForFigure2() {
-			cells, err := b.sweepFig234(dsName, setup)
-			if err != nil {
-				return err
-			}
+			cells := sweeps[dsName][setup.Label()]
 			cols := []interface{}{setup.Label()}
 			for _, t := range ThreadSweep {
 				cols = append(cols, fmt.Sprintf("%.1f", 100*cells[t].CPUUtil))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -18,8 +19,8 @@ import (
 // paper's Sec. II-B discussion and its ref [30]. Both indexes are built
 // monolithically over the same dataset and replayed under identical neutral
 // engine traits, so every difference is the index's own.
-func runExtD(b *Bench, w io.Writer) error {
-	ds, err := b.Dataset("cohere-large")
+func runExtD(ctx context.Context, b *Bench, w io.Writer) error {
+	ds, err := b.DatasetContext(ctx, "cohere-large")
 	if err != nil {
 		return err
 	}
@@ -30,7 +31,7 @@ func runExtD(b *Bench, w io.Writer) error {
 	mono := vdb.Milvus()
 	mono.Name = "milvus-monolithic"
 	mono.SegmentCapacity = 0
-	monoStack, err := b.Stack("cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
+	monoStack, err := b.StackContext(ctx, "cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
 	if err != nil {
 		return err
 	}
@@ -73,7 +74,10 @@ func runExtD(b *Bench, w io.Writer) error {
 	}
 	tw := table(w, "index", "recall@10", "QPS (t=16)", "P99 (µs)", "KiB/query", "mean req size (KiB)", "footprint")
 	for _, r := range rows {
-		out := Run(r.execs, neutral, b.mergeDefaults(RunConfig{Threads: 16}))
+		out, err := RunContext(ctx, r.execs, neutral, b.mergeDefaults(RunConfig{Threads: 16}))
+		if err != nil {
+			return err
+		}
 		m := out.Metrics
 		meanReq := m.MeanReadBytes / 1024
 		row(tw, r.name,

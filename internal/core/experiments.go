@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,6 +12,11 @@ import (
 	"svdbench/internal/vdb"
 )
 
+// ErrUnknownExperiment is returned by ExperimentByID for an id outside the
+// registry. It marks a user error (a bad -experiment flag) as opposed to an
+// internal failure; cmd/annbench maps it to a distinct exit code.
+var ErrUnknownExperiment = errors.New("core: unknown experiment")
+
 // Experiment regenerates one table or figure of the paper.
 type Experiment struct {
 	// ID is the harness identifier ("fig2", "table1", "extA", ...).
@@ -18,33 +25,49 @@ type Experiment struct {
 	Paper string
 	// Title describes what is measured.
 	Title string
-	// Run executes the experiment, writing its rows to w.
-	Run func(b *Bench, w io.Writer) error
+
+	// run executes the experiment, writing its rows to w.
+	run func(ctx context.Context, b *Bench, w io.Writer) error
+}
+
+// Run executes the experiment, writing its rows to w. It is the
+// context-free wrapper over RunContext.
+func (e Experiment) Run(b *Bench, w io.Writer) error {
+	return e.RunContext(context.Background(), b, w)
+}
+
+// RunContext executes the experiment under ctx: cancelling ctx stops the
+// measurement grid within one cell and returns ctx's error.
+func (e Experiment) RunContext(ctx context.Context, b *Bench, w io.Writer) error {
+	if e.run == nil {
+		return fmt.Errorf("%w: experiment %q has no runner", ErrUnknownExperiment, e.ID)
+	}
+	return e.run(ctx, b, w)
 }
 
 // Experiments returns the full registry in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{ID: "table1", Paper: "Table I", Title: "SSD calibration: fio-style raw device envelope", Run: runTable1},
-		{ID: "table2", Paper: "Table II", Title: "Build/search-time parameters and achieved recall@10", Run: runTable2},
-		{ID: "fig2", Paper: "Figure 2", Title: "Throughput scalability vs query threads", Run: runFig2},
-		{ID: "fig3", Paper: "Figure 3", Title: "P99 latency scalability vs query threads", Run: runFig3},
-		{ID: "fig4", Paper: "Figure 4", Title: "Global CPU usage vs query threads", Run: runFig4},
-		{ID: "fig5", Paper: "Figure 5", Title: "Milvus-DiskANN read bandwidth timeline", Run: runFig5},
-		{ID: "fig6", Paper: "Figure 6", Title: "Milvus-DiskANN per-query read bandwidth", Run: runFig6},
-		{ID: "fig7", Paper: "Figure 7", Title: "DiskANN throughput vs search_list", Run: runFig7},
-		{ID: "fig8", Paper: "Figure 8", Title: "DiskANN P99 latency vs search_list", Run: runFig8},
-		{ID: "fig9", Paper: "Figure 9", Title: "DiskANN recall@10 vs search_list", Run: runFig9},
-		{ID: "fig10", Paper: "Figure 10", Title: "DiskANN total read bandwidth vs search_list", Run: runFig10},
-		{ID: "fig11", Paper: "Figure 11", Title: "DiskANN per-query bandwidth vs search_list", Run: runFig11},
-		{ID: "fig12", Paper: "Figure 12", Title: "DiskANN throughput vs beam_width", Run: runFig12},
-		{ID: "fig13", Paper: "Figure 13", Title: "DiskANN P99 latency vs beam_width", Run: runFig13},
-		{ID: "fig14", Paper: "Figure 14", Title: "DiskANN total read bandwidth vs beam_width", Run: runFig14},
-		{ID: "fig15", Paper: "Figure 15", Title: "DiskANN per-query bandwidth vs beam_width", Run: runFig15},
-		{ID: "extA", Paper: "Extension A", Title: "Hybrid search + insert/delete workload (Sec. VIII)", Run: runExtA},
-		{ID: "extB", Paper: "Extension B", Title: "Filtered search performance (Sec. VIII)", Run: runExtB},
-		{ID: "extC", Paper: "Extension C", Title: "Design ablations: beam width 1, monolithic Milvus", Run: runExtC},
-		{ID: "extD", Paper: "Extension D", Title: "Storage-index shoot-out: DiskANN vs SPANN-style clusters", Run: runExtD},
+		{ID: "table1", Paper: "Table I", Title: "SSD calibration: fio-style raw device envelope", run: runTable1},
+		{ID: "table2", Paper: "Table II", Title: "Build/search-time parameters and achieved recall@10", run: runTable2},
+		{ID: "fig2", Paper: "Figure 2", Title: "Throughput scalability vs query threads", run: runFig2},
+		{ID: "fig3", Paper: "Figure 3", Title: "P99 latency scalability vs query threads", run: runFig3},
+		{ID: "fig4", Paper: "Figure 4", Title: "Global CPU usage vs query threads", run: runFig4},
+		{ID: "fig5", Paper: "Figure 5", Title: "Milvus-DiskANN read bandwidth timeline", run: runFig5},
+		{ID: "fig6", Paper: "Figure 6", Title: "Milvus-DiskANN per-query read bandwidth", run: runFig6},
+		{ID: "fig7", Paper: "Figure 7", Title: "DiskANN throughput vs search_list", run: runFig7},
+		{ID: "fig8", Paper: "Figure 8", Title: "DiskANN P99 latency vs search_list", run: runFig8},
+		{ID: "fig9", Paper: "Figure 9", Title: "DiskANN recall@10 vs search_list", run: runFig9},
+		{ID: "fig10", Paper: "Figure 10", Title: "DiskANN total read bandwidth vs search_list", run: runFig10},
+		{ID: "fig11", Paper: "Figure 11", Title: "DiskANN per-query bandwidth vs search_list", run: runFig11},
+		{ID: "fig12", Paper: "Figure 12", Title: "DiskANN throughput vs beam_width", run: runFig12},
+		{ID: "fig13", Paper: "Figure 13", Title: "DiskANN P99 latency vs beam_width", run: runFig13},
+		{ID: "fig14", Paper: "Figure 14", Title: "DiskANN total read bandwidth vs beam_width", run: runFig14},
+		{ID: "fig15", Paper: "Figure 15", Title: "DiskANN per-query bandwidth vs beam_width", run: runFig15},
+		{ID: "extA", Paper: "Extension A", Title: "Hybrid search + insert/delete workload (Sec. VIII)", run: runExtA},
+		{ID: "extB", Paper: "Extension B", Title: "Filtered search performance (Sec. VIII)", run: runExtB},
+		{ID: "extC", Paper: "Extension C", Title: "Design ablations: beam width 1, monolithic Milvus", run: runExtC},
+		{ID: "extD", Paper: "Extension D", Title: "Storage-index shoot-out: DiskANN vs SPANN-style clusters", run: runExtD},
 	}
 }
 
@@ -60,7 +83,7 @@ func ExperimentByID(id string) (Experiment, error) {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+	return Experiment{}, fmt.Errorf("%w %q (have %v)", ErrUnknownExperiment, id, ids)
 }
 
 // table starts an aligned output table with a header row.

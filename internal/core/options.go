@@ -1,0 +1,65 @@
+package core
+
+import "svdbench/internal/sim"
+
+// RunOption is a functional option over RunConfig, the ergonomic layer of
+// the measurement API. RunConfig itself stays the stable wire form — a plain
+// struct that serialises, diffs and zero-values cleanly — while options give
+// call sites self-describing construction:
+//
+//	cfg := core.NewRunConfig(core.WithThreads(256), core.WithRepetitions(5))
+//
+// Options apply in order, so later options win over earlier ones.
+type RunOption func(*RunConfig)
+
+// WithThreads sets the closed-loop client concurrency (the paper sweeps
+// 1..256).
+func WithThreads(n int) RunOption { return func(c *RunConfig) { c.Threads = n } }
+
+// WithDuration sets the virtual measurement window per repetition.
+func WithDuration(d sim.Duration) RunOption { return func(c *RunConfig) { c.Duration = d } }
+
+// WithRepetitions sets how many repetitions are aggregated (paper: 5).
+func WithRepetitions(n int) RunOption { return func(c *RunConfig) { c.Repetitions = n } }
+
+// WithCores sets the simulated CPU core count (paper testbed: 20). This is
+// virtual hardware inside the simulation, unrelated to the host-side
+// Scheduler worker pool.
+func WithCores(n int) RunOption { return func(c *RunConfig) { c.Cores = n } }
+
+// WithSeed perturbs per-repetition thread start offsets.
+func WithSeed(seed int64) RunOption { return func(c *RunConfig) { c.Seed = seed } }
+
+// WithTimeline enables fine-grained bandwidth buckets (Fig. 5). A positive
+// bucket overrides the default width of Duration/30.
+func WithTimeline(bucket sim.Duration) RunOption {
+	return func(c *RunConfig) {
+		c.Timeline = true
+		c.TimelineBucket = bucket
+	}
+}
+
+// WithMaxReadConcurrent overrides the engine's segment-worker cap (the
+// Fig. 12–15 beam-width configuration).
+func WithMaxReadConcurrent(n int) RunOption {
+	return func(c *RunConfig) { c.MaxReadConcurrent = n }
+}
+
+// NewRunConfig builds a RunConfig from options layered over the standard
+// experiment defaults (see RunConfig.Defaults).
+func NewRunConfig(opts ...RunOption) RunConfig {
+	var cfg RunConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Defaults()
+}
+
+// With returns a copy of the config with the options applied; the receiver
+// is unchanged.
+func (c RunConfig) With(opts ...RunOption) RunConfig {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

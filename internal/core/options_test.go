@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewRunConfig(t *testing.T) {
+	cfg := NewRunConfig(WithThreads(256), WithRepetitions(5), WithCores(8), WithSeed(42))
+	if cfg.Threads != 256 || cfg.Repetitions != 5 || cfg.Cores != 8 || cfg.Seed != 42 {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+	// Untouched fields pick up the standard defaults.
+	if cfg.Duration != 2*time.Second {
+		t.Errorf("Duration = %v, want the 2s default", cfg.Duration)
+	}
+}
+
+func TestNewRunConfigDefaultsOnly(t *testing.T) {
+	if got, want := NewRunConfig(), (RunConfig{}).Defaults(); got != want {
+		t.Errorf("NewRunConfig() = %+v, want Defaults() %+v", got, want)
+	}
+}
+
+func TestRunConfigWithIsCopy(t *testing.T) {
+	base := NewRunConfig(WithThreads(4))
+	mod := base.With(WithThreads(16), WithMaxReadConcurrent(256))
+	if base.Threads != 4 {
+		t.Errorf("receiver mutated: %+v", base)
+	}
+	if mod.Threads != 16 || mod.MaxReadConcurrent != 256 {
+		t.Errorf("copy missing options: %+v", mod)
+	}
+}
+
+func TestWithTimeline(t *testing.T) {
+	cfg := NewRunConfig(WithTimeline(10 * time.Millisecond))
+	if !cfg.Timeline || cfg.TimelineBucket != 10*time.Millisecond {
+		t.Errorf("timeline option not applied: %+v", cfg)
+	}
+}
+
+func TestLaterOptionsWin(t *testing.T) {
+	cfg := NewRunConfig(WithThreads(1), WithThreads(64))
+	if cfg.Threads != 64 {
+		t.Errorf("Threads = %d, want the later option's 64", cfg.Threads)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"svdbench/internal/sim"
@@ -13,6 +17,11 @@ import (
 // methodology (Sec. III-B): N query threads, each with one in-flight query,
 // cycling through the recorded query set for a fixed duration, page cache
 // dropped before each run, repeated with mean ± std reported.
+//
+// RunConfig is the stable wire form of a measurement: a plain struct whose
+// zero fields mean "use the standard defaults" (see Defaults). The
+// functional options in options.go (WithThreads, WithRepetitions, ...) are
+// the ergonomic layer over it; both construct the same values.
 type RunConfig struct {
 	// Threads is the closed-loop concurrency (the paper sweeps 1..256).
 	Threads int
@@ -69,11 +78,26 @@ type RunOutput struct {
 // (kernel, CPU, SSD, engine) per repetition and returns aggregated metrics.
 // The recorded executions in execs are replayed round-robin across threads,
 // restarting from the first query when exhausted, exactly like the paper's
-// 1,000-query loop.
+// 1,000-query loop. Run is the context-free wrapper over RunContext; it can
+// never be cancelled and therefore never fails.
 func Run(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig) RunOutput {
+	out, _ := RunContext(context.Background(), execs, traits, cfg)
+	return out
+}
+
+// RunContext is Run with cancellation: a cancelled ctx stops the measurement
+// between repetitions and returns ctx's error with a zero RunOutput.
+//
+// Repetitions fan out across host goroutines (bounded by the repetition
+// count and runtime.GOMAXPROCS): every repetition owns a fresh simulated
+// stack and a private result slot indexed by repetition number, so the
+// aggregate — and the reported timeline, taken from the last repetition — is
+// bit-identical to a sequential run regardless of host scheduling.
+func RunContext(ctx context.Context, execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig) (RunOutput, error) {
+	if err := ctx.Err(); err != nil {
+		return RunOutput{}, err
+	}
 	cfg = cfg.Defaults()
-	reps := make([]Metrics, 0, cfg.Repetitions)
-	var lastTimeline []trace.BucketPoint
 	bucket := cfg.TimelineBucket
 	if bucket <= 0 {
 		bucket = cfg.Duration / 30
@@ -81,12 +105,35 @@ func Run(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig) RunOutput {
 			bucket = time.Millisecond
 		}
 	}
-	for rep := 0; rep < cfg.Repetitions; rep++ {
-		m, tl := runOnce(execs, traits, cfg, int64(rep)+cfg.Seed, bucket)
-		reps = append(reps, m)
-		lastTimeline = tl
+	nrep := cfg.Repetitions
+	reps := make([]Metrics, nrep)
+	timelines := make([][]trace.BucketPoint, nrep)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nrep {
+		workers = nrep
 	}
-	return RunOutput{Metrics: AggregateRuns(reps), Timeline: lastTimeline, TimelineBucket: bucket}
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				rep := int(atomic.AddInt64(&next, 1)) - 1
+				if rep >= nrep || ctx.Err() != nil {
+					return
+				}
+				reps[rep], timelines[rep] = runOnce(execs, traits, cfg, int64(rep)+cfg.Seed, bucket)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return RunOutput{}, err
+	}
+	return RunOutput{Metrics: AggregateRuns(reps), Timeline: timelines[nrep-1], TimelineBucket: bucket}, nil
 }
 
 // runOnce is a single repetition: fresh virtual hardware, drop-caches

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"svdbench/internal/dataset"
@@ -27,13 +28,13 @@ const tuneSampleQueries = 200
 //     "efSearch (LanceDB)" column) because quantisation costs accuracy.
 //   - DiskANN: search_list fixed at its minimum (10) because it already
 //     exceeds the target there (Tab. II), beam_width 4.
-func (b *Bench) tune(st *Stack) error {
+func (b *Bench) tune(ctx context.Context, st *Stack) error {
 	switch st.Setup.Index {
 	case vdb.IndexIVFFlat:
 		np := b.tuneNProbe(st)
 		st.Opts = index.SearchOptions{NProbe: np}
 	case vdb.IndexIVFPQ:
-		milvus, err := b.Stack(st.DatasetName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexIVFFlat})
+		milvus, err := b.StackContext(ctx, st.DatasetName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexIVFFlat})
 		if err != nil {
 			return fmt.Errorf("tune %s: need milvus IVF params: %w", st.Setup.Label(), err)
 		}
@@ -43,7 +44,7 @@ func (b *Bench) tune(st *Stack) error {
 			st.Opts = index.SearchOptions{EfSearch: b.tuneEf(st)}
 			return nil
 		}
-		milvus, err := b.Stack(st.DatasetName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexHNSW})
+		milvus, err := b.StackContext(ctx, st.DatasetName, vdb.Setup{Engine: vdb.Milvus(), Index: vdb.IndexHNSW})
 		if err != nil {
 			return fmt.Errorf("tune %s: need milvus HNSW params: %w", st.Setup.Label(), err)
 		}

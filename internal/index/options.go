@@ -1,0 +1,47 @@
+package index
+
+// SearchOption is a functional option over SearchOptions, the ergonomic
+// layer of the search API. SearchOptions itself stays the stable wire form;
+// options give call sites self-describing construction:
+//
+//	opts := index.NewSearchOptions(index.WithSearchList(100), index.WithBeamWidth(4))
+//
+// Options apply in order, so later options win over earlier ones.
+type SearchOption func(*SearchOptions)
+
+// WithNProbe sets the number of candidate clusters an IVF search scans.
+func WithNProbe(n int) SearchOption { return func(o *SearchOptions) { o.NProbe = n } }
+
+// WithEfSearch sets HNSW's dynamic candidate list size.
+func WithEfSearch(ef int) SearchOption { return func(o *SearchOptions) { o.EfSearch = ef } }
+
+// WithSearchList sets DiskANN's candidate list size (L).
+func WithSearchList(l int) SearchOption { return func(o *SearchOptions) { o.SearchList = l } }
+
+// WithBeamWidth sets DiskANN's beam width (W): frontier nodes fetched from
+// storage per search iteration.
+func WithBeamWidth(w int) SearchOption { return func(o *SearchOptions) { o.BeamWidth = w } }
+
+// WithFilter restricts results to ids for which f returns true (nil clears
+// the filter).
+func WithFilter(f func(id int32) bool) SearchOption {
+	return func(o *SearchOptions) { o.Filter = f }
+}
+
+// NewSearchOptions builds SearchOptions from options over the zero value.
+func NewSearchOptions(opts ...SearchOption) SearchOptions {
+	var o SearchOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// With returns a copy of the options with the given options applied; the
+// receiver is unchanged.
+func (o SearchOptions) With(opts ...SearchOption) SearchOptions {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

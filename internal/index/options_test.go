@@ -1,0 +1,31 @@
+package index
+
+import "testing"
+
+func TestNewSearchOptions(t *testing.T) {
+	o := NewSearchOptions(WithNProbe(32), WithEfSearch(128), WithSearchList(100), WithBeamWidth(4))
+	if o.NProbe != 32 || o.EfSearch != 128 || o.SearchList != 100 || o.BeamWidth != 4 {
+		t.Errorf("options not applied: %+v", o)
+	}
+}
+
+func TestSearchOptionsWithIsCopy(t *testing.T) {
+	base := NewSearchOptions(WithSearchList(10))
+	mod := base.With(WithSearchList(100))
+	if base.SearchList != 10 {
+		t.Errorf("receiver mutated: %+v", base)
+	}
+	if mod.SearchList != 100 {
+		t.Errorf("copy missing option: %+v", mod)
+	}
+}
+
+func TestWithFilter(t *testing.T) {
+	o := NewSearchOptions(WithFilter(func(id int32) bool { return id%2 == 0 }))
+	if o.Filter == nil || !o.Filter(2) || o.Filter(3) {
+		t.Error("filter option not applied")
+	}
+	if cleared := o.With(WithFilter(nil)); cleared.Filter != nil {
+		t.Error("nil filter should clear")
+	}
+}

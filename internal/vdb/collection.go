@@ -51,7 +51,7 @@ func NewCollection(name string, dim int, metric vec.Metric, traits Traits, kind 
 		return nil, fmt.Errorf("%w: %s does not expose %s", ErrUnsupportedIndex, traits.Name, kind)
 	}
 	if dim <= 0 {
-		return nil, fmt.Errorf("vdb: invalid dimension %d", dim)
+		return nil, fmt.Errorf("%w: invalid dimension %d", ErrBadParams, dim)
 	}
 	return &Collection{
 		Name:       name,
@@ -97,10 +97,10 @@ func (c *Collection) Segments() []*Segment { return c.segments }
 func (c *Collection) BulkLoad(data *vec.Matrix, payloads []Payload) error {
 	n := data.Len()
 	if n == 0 {
-		return fmt.Errorf("vdb: bulk load of empty matrix")
+		return fmt.Errorf("%w: bulk load of empty matrix", ErrBadParams)
 	}
 	if data.Dim != c.dim {
-		return fmt.Errorf("vdb: bulk load dim %d, want %d", data.Dim, c.dim)
+		return fmt.Errorf("%w: bulk load dim %d, want %d", ErrBadParams, data.Dim, c.dim)
 	}
 	capPer := c.traits.SegmentCapacity
 	if capPer <= 0 {
@@ -191,7 +191,7 @@ func (c *Collection) AssignStorage(alloc func(npages int64) int64) {
 // Growing rows are scanned brute-force by searches until compaction.
 func (c *Collection) Insert(v []float32, payload Payload) (int32, error) {
 	if len(v) != c.dim {
-		return 0, fmt.Errorf("vdb: insert dim %d, want %d", len(v), c.dim)
+		return 0, fmt.Errorf("%w: insert dim %d, want %d", ErrBadParams, len(v), c.dim)
 	}
 	id := c.nextID
 	c.nextID++

@@ -128,6 +128,16 @@ var ErrOutOfMemory = errors.New("vdb: out of memory")
 // engine does not expose.
 var ErrUnsupportedIndex = errors.New("vdb: index kind not supported by engine")
 
+// ErrUnknownEngine is returned by EngineByName for a name outside the
+// paper's engine set. It marks a user error (a bad -engine flag) as opposed
+// to an internal failure; cmd/annbench maps it to a distinct exit code.
+var ErrUnknownEngine = errors.New("vdb: unknown engine")
+
+// ErrBadParams marks structurally invalid caller input — a non-positive
+// dimension, an empty bulk load, a vector whose dimension does not match the
+// collection. Wrap sites attach the specifics with %w.
+var ErrBadParams = errors.New("vdb: bad parameters")
+
 // Milvus returns the Milvus trait profile.
 func Milvus() Traits {
 	return Traits{
@@ -196,7 +206,7 @@ func EngineByName(name string) (Traits, error) {
 	case "lancedb":
 		return LanceDB(), nil
 	default:
-		return Traits{}, fmt.Errorf("vdb: unknown engine %q", name)
+		return Traits{}, fmt.Errorf("%w %q (have milvus, qdrant, weaviate, lancedb)", ErrUnknownEngine, name)
 	}
 }
 

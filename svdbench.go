@@ -17,6 +17,9 @@
 package svdbench
 
 import (
+	"context"
+	"time"
+
 	"svdbench/internal/core"
 	"svdbench/internal/dataset"
 	"svdbench/internal/index"
@@ -75,6 +78,27 @@ type (
 	Metrics = core.Metrics
 	// Experiment regenerates one table or figure of the paper.
 	Experiment = core.Experiment
+	// Scheduler fans experiment cells out over host worker goroutines with
+	// deterministic result ordering.
+	Scheduler = core.Scheduler
+	// Progress is one per-cell completion report from a Scheduler.
+	Progress = core.Progress
+
+	// RunOption is a functional option over RunConfig (WithThreads, ...).
+	RunOption = core.RunOption
+	// SearchOption is a functional option over SearchOptions (WithBeamWidth, ...).
+	SearchOption = index.SearchOption
+)
+
+// Typed sentinel errors, matchable with errors.Is through any wrapping.
+var (
+	// ErrUnknownEngine reports an engine name outside the paper's four.
+	ErrUnknownEngine = vdb.ErrUnknownEngine
+	// ErrUnknownExperiment reports an experiment id outside the registry.
+	ErrUnknownExperiment = core.ErrUnknownExperiment
+	// ErrBadParams reports structurally invalid caller input (bad dimension,
+	// empty bulk load, mismatched vector).
+	ErrBadParams = vdb.ErrBadParams
 )
 
 // Distance metrics.
@@ -149,10 +173,43 @@ func MeanRecallAtK(results [][]int32, truth [][]int32, k int) float64 {
 func NewMatrix(n, dim int) *Matrix { return vec.NewMatrix(n, dim) }
 
 // RunWorkload replays recorded executions through the simulated testbed
-// under a trait profile: the measurement primitive behind every figure.
+// under a trait profile: the measurement primitive behind every figure. It
+// is the context-free wrapper over RunWorkloadContext.
 func RunWorkload(execs []QueryExec, traits EngineTraits, cfg RunConfig) RunOutput {
 	return core.Run(execs, traits, cfg)
 }
+
+// RunWorkloadContext is RunWorkload with cancellation: a cancelled ctx stops
+// the measurement between repetitions and returns ctx's error.
+func RunWorkloadContext(ctx context.Context, execs []QueryExec, traits EngineTraits, cfg RunConfig) (RunOutput, error) {
+	return core.RunContext(ctx, execs, traits, cfg)
+}
+
+// NewScheduler creates a worker pool running experiment cells on n host
+// goroutines (n <= 0 selects runtime.GOMAXPROCS).
+func NewScheduler(n int) *Scheduler { return core.NewScheduler(n) }
+
+// NewRunConfig builds a RunConfig from functional options layered over the
+// standard experiment defaults.
+func NewRunConfig(opts ...RunOption) RunConfig { return core.NewRunConfig(opts...) }
+
+// Functional options over RunConfig; see the core package for details.
+func WithThreads(n int) RunOption                 { return core.WithThreads(n) }
+func WithDuration(d time.Duration) RunOption      { return core.WithDuration(d) }
+func WithRepetitions(n int) RunOption             { return core.WithRepetitions(n) }
+func WithCores(n int) RunOption                   { return core.WithCores(n) }
+func WithSeed(seed int64) RunOption               { return core.WithSeed(seed) }
+func WithTimeline(bucket time.Duration) RunOption { return core.WithTimeline(bucket) }
+func WithMaxReadConcurrent(n int) RunOption       { return core.WithMaxReadConcurrent(n) }
+
+// NewSearchOptions builds SearchOptions from functional options.
+func NewSearchOptions(opts ...SearchOption) SearchOptions { return index.NewSearchOptions(opts...) }
+
+// Functional options over SearchOptions; see the index package for details.
+func WithNProbe(n int) SearchOption     { return index.WithNProbe(n) }
+func WithEfSearch(ef int) SearchOption  { return index.WithEfSearch(ef) }
+func WithSearchList(l int) SearchOption { return index.WithSearchList(l) }
+func WithBeamWidth(w int) SearchOption  { return index.WithBeamWidth(w) }
 
 // NewBench creates an experiment orchestrator at a dataset scale, caching
 // generated datasets in cacheDir ("" disables).
