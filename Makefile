@@ -1,11 +1,12 @@
 # svdbench build/verify targets. `make check` is the tier-1 verification
-# gate: vet, build, and the full test suite under the race detector (the
-# scheduler fans experiment cells across host goroutines, so every test run
-# doubles as a concurrency audit).
+# gate: vet, the annlint determinism/seeding/error-hygiene analyzers, build,
+# and the full test suite under the race detector (the scheduler fans
+# experiment cells across host goroutines, so every test run doubles as a
+# concurrency audit).
 
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet lint check bench
 
 all: build
 
@@ -23,7 +24,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race
+# Domain-specific static analysis: wallclock, seededrand, mapiter, errwrap,
+# ctxprop, floatcmp (see DESIGN.md "Static analysis & determinism
+# conventions" and `go run ./cmd/annlint -list`).
+lint:
+	$(GO) run ./cmd/annlint ./...
+
+check: vet lint build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -90,7 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
-		return fmt.Errorf("%w: %v", errUsage, err)
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 
 	if *list {
@@ -144,11 +144,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "== %s (%s): %s [scale=%s duration=%v reps=%d]\n", exp.ID, exp.Paper, exp.Title, *scale, *duration, *reps)
-		start := time.Now()
+		start := time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 		if err := exp.RunContext(ctx, b, stdout); err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
-		fmt.Fprintf(stdout, "== %s done in %v\n\n", exp.ID, time.Since(start).Round(time.Second))
+		fmt.Fprintf(stdout, "== %s done in %v\n\n", exp.ID, time.Since(start).Round(time.Second)) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	}
 	return nil
 }

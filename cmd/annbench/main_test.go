@@ -92,3 +92,22 @@ func TestClassify(t *testing.T) {
 		}
 	}
 }
+
+// TestClassifyFixedBadParamSites pins the errwrap fixes in
+// internal/core/tuner.go and internal/core/exp_spann.go: their
+// bad-parameter errors now wrap vdb.ErrBadParams, so annbench exits 2
+// (usage) instead of 1 (internal) — even through the per-experiment
+// wrapping run() adds.
+func TestClassifyFixedBadParamSites(t *testing.T) {
+	tuneErr := fmt.Errorf("tune: %w: unknown index kind %q", vdb.ErrBadParams, "BOGUS")
+	extDErr := fmt.Errorf("extD: %w: monolithic stack holds %T, want *diskann.Index", vdb.ErrBadParams, nil)
+	for _, err := range []error{tuneErr, extDErr} {
+		if got := classify(err); got != exitUsage {
+			t.Errorf("classify(%v) = %d, want %d", err, got, exitUsage)
+		}
+		wrapped := fmt.Errorf("fig9: %w", err)
+		if got := classify(wrapped); got != exitUsage {
+			t.Errorf("classify(%v) = %d, want %d", wrapped, got, exitUsage)
+		}
+	}
+}

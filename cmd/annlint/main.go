@@ -1,0 +1,72 @@
+// Command annlint runs the repo's domain-specific static analyzers — the
+// determinism, seeding, and error-hygiene invariants the compiler cannot
+// check (see internal/analysis and DESIGN.md "Static analysis & determinism
+// conventions").
+//
+// Usage:
+//
+//	annlint [-list] [packages]
+//
+// With no arguments it lints ./... . Exit codes: 0 clean, 1 diagnostics
+// found, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"svdbench/internal/analysis"
+)
+
+const (
+	exitClean = 0
+	exitDiags = 1
+	exitError = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("annlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return exitClean
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "annlint: %v\n", err)
+		return exitError
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Lint(pkg, analyzers) {
+			fmt.Fprintln(stdout, d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "annlint: %d problem(s) in %d package(s)\n", found, len(pkgs))
+		return exitDiags
+	}
+	return exitClean
+}

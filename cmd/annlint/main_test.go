@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != exitClean {
+		t.Fatalf("run(-list) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	for _, name := range []string{"wallclock", "seededrand", "mapiter", "errwrap", "ctxprop", "floatcmp"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q", name)
+		}
+	}
+}
+
+// The repo itself must lint clean — this is the same invocation as
+// `make lint`, addressed by module path so the test is cwd-independent.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"svdbench/..."}, &out, &errb); code != exitClean {
+		t.Fatalf("repo lint = %d, want %d\n%s%s", code, exitClean, out.String(), errb.String())
+	}
+}
+
+func TestBadPatternIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does-not-exist"}, &out, &errb); code != exitError {
+		t.Fatalf("run(./does-not-exist) = %d, want %d", code, exitError)
+	}
+}

@@ -40,14 +40,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	start := time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	ds, err := dataset.LoadOrGenerate(*dir, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%s: n=%d dim=%d queries=%d groundK=%d metric=%s (ready in %v)\n",
 		spec.Name, ds.Vectors.Len(), ds.Vectors.Dim, ds.Queries.Len(),
-		len(ds.GroundTruth[0]), spec.Metric, time.Since(start).Round(time.Millisecond))
+		len(ds.GroundTruth[0]), spec.Metric, time.Since(start).Round(time.Millisecond)) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	if *dir != "" {
 		fmt.Fprintf(w, "cached at %s\n", dataset.CachePath(*dir, spec))
 	}

@@ -1,0 +1,233 @@
+// Package analysis is annlint: a suite of domain-specific static analyzers
+// that mechanically enforce the simulator's determinism, seeding, and
+// error-hygiene invariants. The whole credibility of the reproduction rests
+// on properties the compiler cannot see — simulated results must be a pure
+// function of (dataset seed, config), persisted snapshots must be
+// byte-identical across runs, and sentinel errors must survive wrapping so
+// annbench's exit-code classification works. This package encodes those
+// reviewer-head rules as machine-checked diagnostics.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can be ported to the real framework and
+// `go vet -vettool` once that dependency is available; the container this
+// repo grows in has no module proxy, so the driver scaffolding here is a
+// self-contained stdlib implementation.
+//
+// See DESIGN.md "Static analysis & determinism conventions" for the list of
+// simulation-pure packages and the //annlint:allow directive grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// modulePath is the import-path root of the policed module. The analyzers
+// are domain-specific by design: their package scoping is expressed as
+// svdbench import paths, not configuration.
+const modulePath = "svdbench"
+
+// An Analyzer describes one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //annlint:allow directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Match reports whether the analyzer polices the package with the
+	// given import path. A nil Match polices every package of the module.
+	Match func(pkgPath string) bool
+
+	// NoSuppress reports whether //annlint:allow directives for this
+	// analyzer are refused in the given package. Used by wallclock: the
+	// simulation-pure packages may never opt into wall-clock time, not
+	// even with a justification.
+	NoSuppress func(pkgPath string) bool
+
+	// Run inspects the package and reports diagnostics through the pass.
+	Run func(*Pass)
+}
+
+// A Pass connects one Analyzer run to one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full annlint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Wallclock,
+		SeededRand,
+		MapIter,
+		ErrWrap,
+		CtxProp,
+		FloatCmp,
+	}
+}
+
+// byName maps analyzer names for directive validation.
+func byName(analyzers []*Analyzer) map[string]*Analyzer {
+	m := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// Lint runs every matching analyzer over pkg, applies the //annlint:allow
+// suppression directives, and returns the surviving diagnostics sorted by
+// position. Malformed or refused directives surface as diagnostics of the
+// pseudo-analyzer "annlint".
+func Lint(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := byName(analyzers)
+	sup, diags := parseSuppressions(pkg, known)
+
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		if a.NoSuppress != nil && a.NoSuppress(pkg.Path) {
+			diags = append(diags, sup.refuse(a.Name, pkg.Path)...)
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if a.NoSuppress == nil || !a.NoSuppress(pkg.Path) {
+				if sup.allowed(a.Name, d.Pos) {
+					continue
+				}
+			}
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunForTest executes a single analyzer over pkg, bypassing Match so
+// fixtures with synthetic import paths still exercise package-scoped
+// analyzers, but honoring suppressions so fixtures can prove the
+// //annlint:allow directive works. asPath overrides the package path seen
+// by NoSuppress.
+func RunForTest(pkg *Package, a *Analyzer, asPath string) []Diagnostic {
+	if asPath == "" {
+		asPath = pkg.Path
+	}
+	sup, diags := parseSuppressions(pkg, byName([]*Analyzer{a}))
+	if a.NoSuppress != nil && a.NoSuppress(asPath) {
+		diags = append(diags, sup.refuse(a.Name, asPath)...)
+	}
+	pass := &Pass{Analyzer: a, Pkg: pkg}
+	a.Run(pass)
+	for _, d := range pass.diags {
+		if a.NoSuppress == nil || !a.NoSuppress(asPath) {
+			if sup.allowed(a.Name, d.Pos) {
+				continue
+			}
+		}
+		diags = append(diags, d)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// hasPathPrefix reports whether path is prefix or lives below it.
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// anyPathPrefix reports whether path matches any of the prefixes.
+func anyPathPrefix(path string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves expr (an identifier or selector used as a function) to a
+// package-level *types.Func declared in pkgPath, or nil. Methods do not
+// qualify: a *rand.Rand method is seeded and fine where the package-level
+// rand.Intn is not.
+func pkgFunc(info *types.Info, expr ast.Expr, pkgPath string) *types.Func {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// enclosingFuncs walks file and calls fn for every function declaration and
+// literal together with its body. Convenience for analyzers that need the
+// enclosing signature (errwrap, ctxprop).
+func enclosingFuncs(file *ast.File, fn func(ft *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Type, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Type, d.Body)
+		}
+		return true
+	})
+}

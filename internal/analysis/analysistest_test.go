@@ -1,0 +1,108 @@
+package analysis
+
+// A minimal analysistest: fixtures live under testdata/src/<name>/ and mark
+// each expected diagnostic with a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on the offending line. runFixture loads the fixture as the given package
+// path (so package-scoped analyzers see a realistic import path), runs one
+// analyzer through the full suppression pipeline, and requires an exact
+// match between produced diagnostics and want expectations.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches one Loader per test binary: the fixtures share the
+// fileset and the go list export-data index, so each extra fixture costs
+// only its own parse and type-check. Tests using it must not run parallel.
+var sharedLoader = NewLoader("")
+
+func runFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", fixture), asPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	got := RunForTest(pkg, a, asPath)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, expr := range parseWantPatterns(t, fixture, pos.Line, c.Text[idx+len("// want "):]) {
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", fixture, pos.Line, expr, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWantPatterns splits the payload of a want comment into its quoted
+// regexps.
+func parseWantPatterns(t *testing.T, fixture string, line int, payload string) []string {
+	t.Helper()
+	var out []string
+	rest := strings.TrimSpace(payload)
+	for rest != "" {
+		if rest[0] != '"' {
+			t.Fatalf("%s:%d: want payload must be quoted regexps, got %q", fixture, line, rest)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '"' && rest[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", fixture, line, rest)
+		}
+		expr, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", fixture, line, rest[:end+1], err)
+		}
+		out = append(out, expr)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxProp flags context.Background() and context.TODO() inside internal/core
+// functions that already receive a ctx parameter: minting a fresh root
+// context there detaches the work from the caller's cancellation, so a
+// SIGINT would no longer stop the in-flight experiment cells. The
+// context-free backward-compat wrappers (Dataset, Stack, Run) take no ctx
+// parameter, so they are naturally exempt.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc: "flag context.Background()/context.TODO() in functions that already " +
+		"receive a context.Context; propagate the parameter instead",
+	Match: func(path string) bool {
+		return path == modulePath+"/internal/core"
+	},
+	Run: runCtxProp,
+}
+
+func runCtxProp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// ctxDepth counts enclosing functions with a ctx parameter; a
+		// closure inside a ctx-taking function still has ctx in scope.
+		var walk func(n ast.Node, ctxDepth int)
+		walk = func(n ast.Node, ctxDepth int) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch node := m.(type) {
+				case *ast.FuncLit:
+					walk(node.Body, ctxDepth+hasCtxParam(info, node.Type))
+					return false
+				case *ast.CallExpr:
+					if ctxDepth == 0 {
+						return true
+					}
+					fn := pkgFunc(info, node.Fun, "context")
+					if fn == nil {
+						return true
+					}
+					if name := fn.Name(); name == "Background" || name == "TODO" {
+						pass.Reportf(node.Pos(),
+							"context.%s discards the ctx this function already receives, detaching it "+
+								"from cancellation; propagate the parameter", name)
+					}
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walk(fd.Body, hasCtxParam(info, fd.Type))
+			}
+		}
+	}
+}
+
+// hasCtxParam reports (as 0/1) whether ft has a context.Context parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) int {
+	if ft.Params == nil {
+		return 0
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return 1
+			}
+		}
+	}
+	return 0
+}

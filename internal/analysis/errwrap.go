@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// classifiedPkgs are the packages whose errors reach annbench's exit-code
+// classification (0 ok / 1 internal / 2 usage). A root error minted there
+// with bad-parameter phrasing but no sentinel in its chain makes annbench
+// report a typo as a harness bug.
+var classifiedPkgs = []string{
+	modulePath + "/internal/core",
+	modulePath + "/internal/vdb",
+	modulePath + "/cmd/annbench",
+}
+
+// badParamRe matches message phrasing that announces a caller mistake.
+var badParamRe = regexp.MustCompile(`(?i)\b(unknown|invalid|unsupported|malformed|bad|want|must|missing|required|negative|non-positive|out of range)\b`)
+
+// ErrWrap enforces the error-hygiene rules that keep sentinel chains
+// intact:
+//
+//  1. An error value passed to fmt.Errorf must be formatted with %w, not
+//     %v/%s — otherwise errors.Is can no longer see the sentinel.
+//  2. Comparing an error to a sentinel with == or != should be errors.Is,
+//     which unwraps.
+//  3. In the packages feeding annbench's exit-code classification, a
+//     fmt.Errorf whose message announces a bad parameter (unknown/invalid/
+//     want/...) but wraps nothing creates an unclassifiable root error;
+//     wrap vdb.ErrBadParams or a more specific sentinel.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "require %w for wrapped errors and errors.Is for sentinel comparisons, " +
+		"and flag bad-parameter root errors that bypass the exit-code sentinels",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	classified := anyPathPrefix(pass.Pkg.Path, classifiedPkgs...)
+	for _, file := range pass.Pkg.Files {
+		// Rules 1 and 3 need the enclosing function's signature; visit
+		// each function body separately, skipping nested literals (they
+		// are visited on their own).
+		enclosingFuncs(file, func(ft *ast.FuncType, body *ast.BlockStmt) {
+			returnsErr := funcReturnsError(info, ft)
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkErrorf(pass, call, classified && returnsErr)
+				}
+				return true
+			})
+		})
+		// Rule 2 is position-independent.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if cmp, ok := n.(*ast.BinaryExpr); ok {
+				checkSentinelCompare(pass, cmp)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf applies rules 1 and 3 to one call, if it is fmt.Errorf with a
+// constant format string.
+func checkErrorf(pass *Pass, call *ast.CallExpr, classifyRoots bool) {
+	info := pass.Pkg.Info
+	fn := pkgFunc(info, call.Fun, "fmt")
+	if fn == nil || fn.Name() != "Errorf" || len(call.Args) == 0 {
+		return
+	}
+	format, ok := constantString(info, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return // explicit argument indexes; too rare to model
+	}
+	args := call.Args[1:]
+	wrapped := false
+	for i, v := range verbs {
+		if i >= len(args) {
+			break // malformed call; go vet's printf check owns that
+		}
+		if v == 'w' {
+			wrapped = true
+			continue
+		}
+		if v == '*' || v == 'T' || v == 'p' {
+			// %T/%p format the type or pointer of an error on purpose;
+			// wrapping is not what those sites mean.
+			continue
+		}
+		if isErrorType(info.TypeOf(args[i])) {
+			pass.Reportf(args[i].Pos(),
+				"error value formatted with %%%c loses its sentinel chain; use %%w so errors.Is keeps working", v)
+		}
+	}
+	if classifyRoots && !wrapped && badParamRe.MatchString(format) {
+		pass.Reportf(call.Pos(),
+			"bad-parameter message creates a root error that annbench classifies as an internal failure "+
+				"(exit 1, not 2); wrap a sentinel with %%w (e.g. fmt.Errorf(\"%%w: ...\", vdb.ErrBadParams)) "+
+				"or annotate with //annlint:allow errwrap -- <why>")
+	}
+}
+
+// checkSentinelCompare applies rule 2: err ==/!= ErrSomething.
+func checkSentinelCompare(pass *Pass, cmp *ast.BinaryExpr) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, pair := range [2][2]ast.Expr{{cmp.X, cmp.Y}, {cmp.Y, cmp.X}} {
+		errSide, sentinelSide := pair[0], pair[1]
+		if !isErrorType(info.TypeOf(errSide)) {
+			continue
+		}
+		if name, ok := sentinelVar(info, sentinelSide); ok {
+			pass.Reportf(cmp.Pos(),
+				"comparing an error to sentinel %s with %s misses wrapped chains; use errors.Is", name, cmp.Op)
+			return
+		}
+	}
+}
+
+// sentinelVar reports whether expr names a package-level error variable
+// following the ErrXxx convention.
+func sentinelVar(info *types.Info, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	name := v.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return "", false
+	}
+	return name, isErrorType(v.Type())
+}
+
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil || t == types.Typ[types.UntypedNil] {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// funcReturnsError reports whether ft's results include an error.
+func funcReturnsError(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		if isErrorType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// constantString evaluates expr to a compile-time string, if it is one.
+func constantString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the arg-consuming conversions of a printf format in
+// order: one rune per consumed argument, '*' for dynamic width/precision
+// arguments. ok is false for formats with explicit argument indexes.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	spec:
+		for i < len(format) {
+			switch c := format[i]; {
+			case c == '%':
+				break spec
+			case c == '#' || c == '+' || c == '-' || c == ' ' || c == '.' || (c >= '0' && c <= '9'):
+				i++
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+			case c == '[':
+				return nil, false
+			default:
+				verbs = append(verbs, rune(c))
+				break spec
+			}
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between computed floating-point values in the
+// distance/score kernels (internal/index, internal/vec): two
+// mathematically equal distances routinely differ in the last ulp once FMA
+// contraction or summation order changes, so exact comparison makes recall
+// and tie-breaking silently platform-dependent. Exempt are comparisons
+// where either side is a compile-time constant (`d == 0` guards) and
+// comparisons where both sides are plain stored values (tie-breaks like
+// `all[j].d == all[min].d`, which compare exact bit patterns on purpose).
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between computed float32/float64 distance or score " +
+		"expressions; compare stored values or use an epsilon",
+	Match: func(path string) bool {
+		return hasPathPrefix(path, modulePath+"/internal/index") ||
+			path == modulePath+"/internal/vec"
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info.TypeOf(cmp.X)) || !isFloat(info.TypeOf(cmp.Y)) {
+				return true
+			}
+			if isConstExpr(info, cmp.X) || isConstExpr(info, cmp.Y) {
+				return true
+			}
+			if isStoredValue(cmp.X) && isStoredValue(cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.Pos(),
+				"computed floating-point values compared with %s; results differ in the last ulp across "+
+					"summation orders — compare exact stored values or use an epsilon", cmp.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isStoredValue reports whether e is a plain reference to stored data — an
+// identifier, field selection, or index chain with no calls, arithmetic,
+// or conversions anywhere inside.
+func isStoredValue(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return isStoredValue(v.X)
+	case *ast.IndexExpr:
+		return isStoredValue(v.X) && isStoredIndex(v.Index)
+	case *ast.ParenExpr:
+		return isStoredValue(v.X)
+	case *ast.StarExpr:
+		return isStoredValue(v.X)
+	default:
+		return false
+	}
+}
+
+// isStoredIndex accepts the simple subscripts seen in tie-break code:
+// identifiers, stored values, and integer literals.
+func isStoredIndex(e ast.Expr) bool {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Kind == token.INT
+	}
+	return isStoredValue(e)
+}

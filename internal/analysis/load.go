@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("svdbench/internal/sim")
+	Name  string // package name ("sim")
+	Dir   string // source directory
+	Fset  *token.FileSet
+	Files []*ast.File // parsed non-test sources, with comments
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader type-checks module packages from source while resolving their
+// imports through compiler export data. The export data comes from
+// `go list -export`, which compiles (or reuses from the build cache) every
+// dependency — the same strategy x/tools/go/packages uses, reimplemented on
+// the stdlib because this environment has no module proxy to fetch x/tools
+// from. Loading the whole module costs roughly one cached `go build`.
+type Loader struct {
+	// Dir is the working directory for go list; any directory inside the
+	// module works. Empty means the current directory.
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer    // shared gc importer (caches loaded packages)
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool and returns the matched packages
+// type-checked from source, in go list order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.ImportPath == "unsafe" {
+			continue
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Name, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the .go files of one directory outside the go list
+// package graph — the analysistest fixtures under testdata/, which the go
+// tool ignores. asPath becomes the package path. Imports are resolved by
+// listing them from the module root, so fixtures may import both the
+// standard library and svdbench packages.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loaddir %s: no .go files", dir)
+	}
+	// Parse first so the fixture's imports are known, then make sure
+	// export data exists for each of them before type-checking.
+	files, err := l.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "unsafe" {
+				continue
+			}
+			if _, ok := l.exports[path]; !ok {
+				missing = append(missing, path)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		if _, err := l.goList(missing); err != nil {
+			return nil, err
+		}
+	}
+	name := files[0].Name.Name
+	return l.checkParsed(asPath, name, dir, files)
+}
+
+// goList runs `go list -export -json -deps` over patterns, records every
+// package's export data file, and returns the listed packages.
+func (l *Loader) goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(out)
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list -json: %w (stderr: %s)", err, stderr.String())
+		}
+		if lp.Export != "" {
+			l.exports[lp.ImportPath] = lp.Export
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	for _, lp := range listed {
+		if lp.Incomplete || lp.Error != nil {
+			msg := "unknown error"
+			if lp.Error != nil {
+				msg = lp.Error.Err
+			}
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, msg)
+		}
+	}
+	return listed, nil
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) check(path, name, dir string, goFiles []string) (*Package, error) {
+	files, err := l.parse(dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkParsed(path, name, dir, files)
+}
+
+func (l *Loader) checkParsed(path, name, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.exportImporter()}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  name,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// exportImporter returns the shared types.Importer reading the export data
+// files recorded by goList. The gc importer handles "unsafe" itself and
+// caches packages it has already read, so it must be shared across Check
+// calls for type identity and speed.
+func (l *Loader) exportImporter() types.Importer {
+	if l.imp == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			file, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q (not reachable from the loaded patterns)", path)
+			}
+			return os.Open(file)
+		}
+		l.imp = importer.ForCompiler(l.fset, "gc", lookup)
+	}
+	return l.imp
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// MapIter polices Go's randomized map iteration order, the classic way
+// nondeterminism leaks into persisted snapshots and merged results:
+//
+//   - In encoding/persistence code (package internal/binenc and every
+//     persist.go under internal/), any `range` over a map is flagged — the
+//     iteration order would reach the output bytes, breaking the
+//     byte-identical snapshot contract that the scheduler's deterministic
+//     merge and the collection cache rely on.
+//   - Everywhere else under internal/, a `range` over a map is flagged when
+//     the loop body appends to a slice declared outside the loop: the
+//     element order of the escaping slice then depends on map hashing. Sort
+//     the keys first, or sort the slice immediately after and annotate the
+//     loop with //annlint:allow mapiter -- <why>.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag nondeterministic map iteration: any map range in persistence/encoding code, " +
+		"and map ranges that append to an escaping slice elsewhere",
+	Match: func(path string) bool {
+		return hasPathPrefix(path, modulePath+"/internal")
+	},
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	encodingPkg := pass.Pkg.Path == modulePath+"/internal/binenc"
+	for _, file := range pass.Pkg.Files {
+		pos := pass.Pkg.Fset.Position(file.Pos())
+		persistFile := filepath.Base(pos.Filename) == "persist.go"
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if encodingPkg || persistFile {
+				pass.Reportf(rng.Pos(),
+					"map iteration order is randomized and this is persistence/encoding code; "+
+						"iterate sorted keys so snapshots stay byte-identical")
+				return true
+			}
+			if target := appendsToOuterSlice(pass.Pkg.Info, rng); target != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration appends to %q, which outlives the loop, in nondeterministic order; "+
+						"iterate sorted keys or sort the result and annotate", target)
+			}
+			return true
+		})
+	}
+}
+
+// appendsToOuterSlice reports the name of a slice declared outside rng that
+// the loop body grows via `x = append(x, ...)`, or "" if there is none.
+// Selector and index targets (o.field, s[i]) always count as escaping —
+// they are reachable after the loop by construction.
+func appendsToOuterSlice(info *types.Info, rng *ast.RangeStmt) string {
+	var found string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fnID, ok := call.Fun.(*ast.Ident)
+			if !ok || fnID.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := info.Uses[fnID].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			switch lhs := assign.Lhs[i].(type) {
+			case *ast.Ident:
+				obj := info.ObjectOf(lhs)
+				if obj == nil {
+					continue
+				}
+				// Declared inside the loop body: grows a loop-local
+				// scratch slice, no order escapes.
+				if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+					continue
+				}
+				found = lhs.Name
+				return false
+			case *ast.SelectorExpr:
+				found = lhs.Sel.Name
+				return false
+			case *ast.IndexExpr:
+				found = types.ExprString(lhs)
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

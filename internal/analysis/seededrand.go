@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// seededRandAllowed are the math/rand package-level names that do not touch
+// the global (unseeded or process-wide) source: constructors for explicit
+// sources and generators. Everything else at package level — rand.Intn,
+// rand.Float64, rand.Shuffle, rand.Seed, ... — draws from shared state and
+// breaks (seed, config) reproducibility.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// SeededRand forbids the top-level math/rand convenience functions
+// everywhere in the module: randomness must flow through a *rand.Rand
+// constructed from a config seed, as hnsw/pq/kmeans/diskann already do.
+// Methods on *rand.Rand are fine — the seed is explicit at construction.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions (rand.Intn, rand.Float64, rand.Shuffle, ...); " +
+		"randomness must come from a *rand.Rand seeded by config",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+				fn := pkgFunc(pass.Pkg.Info, id, randPkg)
+				if fn == nil || seededRandAllowed[fn.Name()] {
+					continue
+				}
+				pass.Reportf(id.Pos(),
+					"rand.%s draws from the global math/rand source, which is not derived from the "+
+						"config seed; construct a *rand.Rand with rand.New(rand.NewSource(seed)) and use its methods",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The suppression directive grammar is
+//
+//	//annlint:allow <analyzer> -- <justification>
+//
+// written either as a trailing comment on the offending line or as a
+// standalone comment on the line immediately above it. The justification is
+// mandatory: an allow without a recorded reason is itself a lint error, so
+// every opt-out is auditable in place. Directives for an analyzer whose
+// NoSuppress covers the package (wallclock in simulation-pure code) are
+// refused and reported rather than honored.
+
+const directivePrefix = "//annlint:"
+
+// A directive is one parsed //annlint:allow comment.
+type directive struct {
+	name string // analyzer being suppressed
+	pos  token.Position
+}
+
+// suppressions indexes the well-formed directives of one package.
+type suppressions struct {
+	byFile map[string][]directive
+}
+
+// parseSuppressions scans every comment of the package and returns the
+// directive index plus diagnostics for malformed directives. known maps the
+// valid analyzer names.
+func parseSuppressions(pkg *Package, known map[string]*Analyzer) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byFile: make(map[string][]directive)}
+	var diags []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "annlint",
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if !strings.HasPrefix(rest, "allow") {
+					bad(pos, "unknown annlint directive %q (only annlint:allow exists)", c.Text)
+					continue
+				}
+				body := strings.TrimSpace(strings.TrimPrefix(rest, "allow"))
+				name, justification, found := strings.Cut(body, "--")
+				name = strings.TrimSpace(name)
+				justification = strings.TrimSpace(justification)
+				switch {
+				case name == "":
+					bad(pos, "annlint:allow needs an analyzer name: //annlint:allow <analyzer> -- <justification>")
+					continue
+				case known[name] == nil:
+					bad(pos, "annlint:allow names unknown analyzer %q", name)
+					continue
+				case !found || justification == "":
+					bad(pos, "annlint:allow %s needs a justification: //annlint:allow %s -- <why this site is exempt>", name, name)
+					continue
+				}
+				sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename], directive{name: name, pos: pos})
+			}
+		}
+	}
+	return sup, diags
+}
+
+// allowed reports whether a diagnostic of analyzer name at pos is covered by
+// a directive on the same line or the line immediately above.
+func (s *suppressions) allowed(name string, pos token.Position) bool {
+	for _, d := range s.byFile[pos.Filename] {
+		if d.name == name && (d.pos.Line == pos.Line || d.pos.Line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// refuse returns one diagnostic per directive naming the given analyzer:
+// used when the package is outside the analyzer's suppressible scope.
+func (s *suppressions) refuse(name, pkgPath string) []Diagnostic {
+	var diags []Diagnostic
+	files := make([]string, 0, len(s.byFile))
+	for f := range s.byFile { //annlint:allow mapiter -- key order is restored by the sort below
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, d := range s.byFile[f] {
+			if d.name != name {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "annlint",
+				Pos:      d.pos,
+				Message: fmt.Sprintf("//annlint:allow %s is refused in simulation-pure package %s; remove the call instead of suppressing it",
+					name, pkgPath),
+			})
+		}
+	}
+	return diags
+}

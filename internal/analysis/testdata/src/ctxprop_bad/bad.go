@@ -1,0 +1,20 @@
+// Fixture: fresh root contexts minted by functions that already receive a
+// ctx — the work detaches from the caller's cancellation.
+package ctxprop_bad
+
+import "context"
+
+func Run(ctx context.Context, step func(context.Context) error) error {
+	return step(context.Background()) // want "context.Background discards the ctx"
+}
+
+func Todo(ctx context.Context, step func(context.Context) error) error {
+	return step(context.TODO()) // want "context.TODO discards the ctx"
+}
+
+// A closure inside a ctx-taking function still has ctx in scope.
+func Spawn(ctx context.Context, go_ func(func())) {
+	go_(func() {
+		_ = context.Background() // want "context.Background discards the ctx"
+	})
+}

@@ -1,0 +1,25 @@
+// Fixture: legitimate context roots — nothing fires.
+package ctxprop_clean
+
+import "context"
+
+// The backward-compat wrapper pattern: no ctx parameter, so minting the
+// root context is the whole point.
+func Run(step func(context.Context) error) error {
+	return step(context.Background())
+}
+
+// Propagating the parameter is the fix ctxprop asks for.
+func RunContext(ctx context.Context, step func(context.Context) error) error {
+	return step(ctx)
+}
+
+// Deriving from the parameter is fine too.
+func WithCancel(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// The annotated exception records its reason.
+func Detached(ctx context.Context, audit func(context.Context)) {
+	audit(context.Background()) //annlint:allow ctxprop -- audit trail must outlive the cancelled run
+}

@@ -1,0 +1,41 @@
+// Fixture: error-hygiene violations, loaded as a path under
+// svdbench/internal/core so the exit-code classification rule applies.
+package errwrap_bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadInput = errors.New("bad input")
+
+// An error formatted with %v loses the sentinel chain.
+func Wrapv(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want "error value formatted with %v loses its sentinel chain"
+}
+
+func Wraps(err error) error {
+	return fmt.Errorf("stage failed: %s", err) // want "error value formatted with %s loses its sentinel chain"
+}
+
+// Comparing to a sentinel with == misses wrapped chains.
+func IsBad(err error) bool {
+	return err == ErrBadInput // want "use errors.Is"
+}
+
+func IsNotBad(err error) bool {
+	return ErrBadInput != err // want "use errors.Is"
+}
+
+// A bad-parameter message minted as a root error: annbench would exit 1
+// (internal) instead of 2 (usage).
+func Lookup(name string) error {
+	return fmt.Errorf("unknown engine %q", name) // want "bad-parameter message creates a root error"
+}
+
+func Validate(dim int) error {
+	if dim <= 0 {
+		return fmt.Errorf("invalid dimension %d", dim) // want "bad-parameter message creates a root error"
+	}
+	return nil
+}

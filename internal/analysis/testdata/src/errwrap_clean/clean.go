@@ -1,0 +1,50 @@
+// Fixture: sound error hygiene — loaded under svdbench/internal/core like
+// the bad twin, nothing fires.
+package errwrap_clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBadInput = errors.New("bad input")
+
+// %w keeps the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+// Wrapping the sentinel classifies the bad parameter.
+func Lookup(name string) error {
+	return fmt.Errorf("%w: unknown engine %q", ErrBadInput, name)
+}
+
+// errors.Is sees through wrapping.
+func IsBad(err error) bool {
+	return errors.Is(err, ErrBadInput)
+}
+
+// Nil checks are not sentinel comparisons.
+func Failed(err error) bool {
+	return err != nil
+}
+
+// A message without bad-parameter phrasing may stay a root error.
+func Compute() error {
+	return fmt.Errorf("simulation diverged after %d steps", 7)
+}
+
+// Non-error values may use any verb.
+func Describe(name string) error {
+	return fmt.Errorf("engine %s: %v queries/s", name, 1200)
+}
+
+// An annotated root error is a recorded decision.
+func Corrupt(path string) error {
+	return fmt.Errorf("snapshot %q: bad magic", path) //annlint:allow errwrap -- corrupt cache bytes are internal, not caller parameters
+}
+
+// %T formats the error's type on purpose — no wrapping intended.
+func TypeOf(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}

@@ -1,0 +1,23 @@
+// Fixture: exact equality between computed floats — differs in the last
+// ulp across summation orders.
+package floatcmp_bad
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func SameDistance(q, a, b []float32) bool {
+	return dot(q, a) == dot(q, b) // want "computed floating-point values compared with =="
+}
+
+func Different(x, y, z float64) bool {
+	return x+y != z // want "computed floating-point values compared with !="
+}
+
+func Converted(n int, f float64) bool {
+	return float64(n) == f // want "computed floating-point values compared with =="
+}

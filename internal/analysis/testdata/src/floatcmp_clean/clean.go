@@ -1,0 +1,32 @@
+// Fixture: the exempt comparisons — constants and exact stored values.
+package floatcmp_clean
+
+type scored struct {
+	d float64
+	c int32
+}
+
+// Guarding against a constant is exact by construction.
+func IsZero(norm float64) bool {
+	return norm == 0
+}
+
+func IsUnit(norm float64) bool {
+	return norm != 1.0
+}
+
+// Tie-breaking on stored values compares exact bit patterns on purpose —
+// the kmeans assignment loop does exactly this.
+func Less(all []scored, j, min int) bool {
+	return all[j].d == all[min].d && all[j].c < all[min].c
+}
+
+// Integer comparisons are out of scope.
+func SameCount(a, b int) bool {
+	return a == b
+}
+
+// An annotated computed comparison records why exactness is wanted.
+func Converged(prev, next float64) bool {
+	return prev*0.5 == next*0.5 //annlint:allow floatcmp -- fixed-point iteration stops only on exact convergence
+}

@@ -1,0 +1,20 @@
+// Fixture: map iteration whose order escapes through an appended slice.
+package mapiter_bad
+
+type Registry struct {
+	names []string
+}
+
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration appends to \"out\""
+		out = append(out, k)
+	}
+	return out
+}
+
+func (r *Registry) Fill(m map[string]int) {
+	for k := range m { // want "map iteration appends to \"names\""
+		r.names = append(r.names, k)
+	}
+}

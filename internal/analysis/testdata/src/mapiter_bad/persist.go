@@ -1,0 +1,9 @@
+package mapiter_bad
+
+// In a persist.go file any map range fires, append or not: the iteration
+// order would reach the snapshot bytes.
+func WriteCounts(m map[int32]int64, emit func(int32, int64)) {
+	for id, n := range m { // want "persistence/encoding code"
+		emit(id, n)
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture: loaded as svdbench/internal/binenc — in the encoding package any
+// map range fires regardless of file name.
+package mapiter_binenc
+
+func Encode(m map[string]int, put func(string, int)) {
+	for k, v := range m { // want "persistence/encoding code"
+		put(k, v)
+	}
+}

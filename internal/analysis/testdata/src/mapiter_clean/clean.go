@@ -1,0 +1,43 @@
+// Fixture: deterministic patterns that must stay silent.
+package mapiter_clean
+
+import "sort"
+
+// Ranging a slice is ordered.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Aggregation into a scalar or another map is order-independent.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Appending to a slice declared inside the loop body never escapes.
+func PerKey(m map[string][]int, use func([]int)) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		use(doubled)
+	}
+}
+
+// The sorted-keys idiom: annotated because the order is restored below.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //annlint:allow mapiter -- key order is restored by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

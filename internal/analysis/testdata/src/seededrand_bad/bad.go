@@ -1,0 +1,19 @@
+// Fixture: global math/rand draws — every one bypasses the config seed.
+package seededrand_bad
+
+import "math/rand"
+
+func Pick(n int) int {
+	return rand.Intn(n) // want "rand.Intn draws from the global math/rand source"
+}
+
+func Jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the global math/rand source"
+}
+
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global math/rand source"
+}
+
+// Passing the function as a value is just as global.
+var intn func(int) int = rand.Intn // want "rand.Intn draws from the global math/rand source"

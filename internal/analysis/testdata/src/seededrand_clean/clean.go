@@ -1,0 +1,19 @@
+// Fixture: seeded randomness through an explicit *rand.Rand — the pattern
+// hnsw/pq/kmeans/diskann use. Nothing fires, including the annotated site.
+package seededrand_clean
+
+import "math/rand"
+
+func Pick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func Shuffled(seed int64, xs []int) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func Annotated() int {
+	return rand.Intn(6) //annlint:allow seededrand -- demo dice roll, result is never measured
+}

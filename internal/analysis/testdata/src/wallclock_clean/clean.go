@@ -1,0 +1,15 @@
+// Fixture: simulation-pure code that uses the time package only for pure
+// duration arithmetic — nothing fires.
+package wallclock_clean
+
+import "time"
+
+const Budget = 30 * time.Microsecond
+
+func Scale(d time.Duration, n int) time.Duration {
+	return d.Round(time.Millisecond) * time.Duration(n)
+}
+
+func Stamp(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}

@@ -1,0 +1,28 @@
+// Fixture: wallclock inside the measurement harness (loaded as a path
+// under svdbench/cmd). Unannotated reads fire; annotated ones with a
+// justification pass; an annotation without justification is malformed.
+package wallclock_harness
+
+import "time"
+
+func Unannotated() time.Time {
+	return time.Now() // want "needs an explicit opt-in"
+}
+
+func Annotated() time.Time {
+	return time.Now() //annlint:allow wallclock -- host-side progress timing for the log
+}
+
+func AnnotatedAbove() time.Duration {
+	start := time.Now() //annlint:allow wallclock -- host-side progress timing for the log
+	//annlint:allow wallclock -- ETA estimate shown to the operator
+	return time.Since(start)
+}
+
+func MissingJustification() time.Time {
+	return time.Now() //annlint:allow wallclock // want "needs a justification" "needs an explicit opt-in"
+}
+
+func WrongName() time.Time {
+	return time.Now() //annlint:allow wallcluck -- typo in the name // want "unknown analyzer" "needs an explicit opt-in"
+}

@@ -1,0 +1,21 @@
+// Fixture: wallclock inside a simulation-pure package (loaded as a path
+// under svdbench/internal/sim). Every host-clock read fires, and even an
+// annotated opt-out is refused.
+package wallclock_sim
+
+import "time"
+
+func Tick() time.Duration {
+	start := time.Now() // want "time.Now reads the host clock inside simulation-pure package"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock inside simulation-pure package"
+	return time.Since(start) // want "time.Since reads the host clock inside simulation-pure package"
+}
+
+func Annotated() time.Time {
+	return time.Now() //annlint:allow wallclock -- trying to opt out anyway // want "time.Now reads the host clock" "refused in simulation-pure package"
+}
+
+// Pure time arithmetic stays silent.
+func Pure(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) + 2*time.Second
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// simPurePkgs are the packages whose behavior must be a pure function of
+// (dataset seed, config): everything they compute feeds virtual time,
+// index structure, or persisted bytes. Wall-clock time in any of them
+// silently decalibrates the simulation, so wallclock diagnostics there
+// cannot even be suppressed.
+var simPurePkgs = []string{
+	modulePath + "/internal/sim",
+	modulePath + "/internal/storage",
+	modulePath + "/internal/index",
+	modulePath + "/internal/vdb",
+	modulePath + "/internal/vec",
+	modulePath + "/internal/binenc",
+}
+
+// harnessPkgs are the measurement harness: wall-clock time is legitimate
+// there for progress logging and host-side ETA, but only at sites that
+// carry an explicit //annlint:allow wallclock directive, so every use is a
+// recorded decision.
+var harnessPkgs = []string{
+	modulePath + "/internal/core",
+	modulePath + "/cmd",
+}
+
+// wallclockFuncs are the package time functions that read or wait on the
+// host clock. Formatting helpers (time.Duration.Round, time.Unix) and the
+// duration constants are fine — they are pure.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock forbids host-clock access in simulation-pure packages and
+// requires an annotated opt-in for it in the measurement harness.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep and friends in simulation-pure packages; " +
+		"the harness may use them only at sites annotated //annlint:allow wallclock",
+	Match: func(path string) bool {
+		return anyPathPrefix(path, simPurePkgs...) || anyPathPrefix(path, harnessPkgs...)
+	},
+	NoSuppress: func(path string) bool {
+		return anyPathPrefix(path, simPurePkgs...)
+	},
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	simPure := anyPathPrefix(pass.Pkg.Path, simPurePkgs...)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := pkgFunc(pass.Pkg.Info, id, "time")
+			if fn == nil || !wallclockFuncs[fn.Name()] {
+				return true
+			}
+			if simPure {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the host clock inside simulation-pure package %s; "+
+						"derive timing from sim virtual time instead", fn.Name(), pass.Pkg.Path)
+			} else {
+				pass.Reportf(id.Pos(),
+					"time.%s in the measurement harness needs an explicit opt-in: "+
+						"annotate the line with //annlint:allow wallclock -- <why>", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -144,12 +144,12 @@ func (b *Bench) loadDataset(ctx context.Context, name string) (*dataset.Dataset,
 		return nil, err
 	}
 	b.logf("dataset %s: loading (n=%d dim=%d)", name, spec.N, spec.Dim)
-	start := time.Now()
+	start := time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	ds, err := dataset.LoadOrGenerate(b.CacheDir, spec)
 	if err != nil {
 		return nil, err
 	}
-	b.logf("dataset %s: ready in %v", name, time.Since(start).Round(time.Millisecond))
+	b.logf("dataset %s: ready in %v", name, time.Since(start).Round(time.Millisecond)) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	return ds, nil
 }
 
@@ -254,12 +254,12 @@ func (b *Bench) buildStack(ctx context.Context, key, dsName string, setup vdb.Se
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	prep, err := b.prepare(ctx, dsName, ds, setup)
 	if err != nil {
 		return nil, err
 	}
-	buildTime := time.Since(start)
+	buildTime := time.Since(start) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 
 	st := &Stack{
 		DatasetName: dsName,
@@ -314,11 +314,11 @@ func (b *Bench) buildPrepared(ctx context.Context, ck string, ds *dataset.Datase
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		start := time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 		if err := col.BulkLoad(ds.Vectors, nil); err != nil {
 			return nil, fmt.Errorf("collection %s: %w", ck, err)
 		}
-		b.logf("collection %s: built in %v", ck, time.Since(start).Round(time.Millisecond))
+		b.logf("collection %s: built in %v", ck, time.Since(start).Round(time.Millisecond)) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 		b.saveCachedCollection(ck, ds, col)
 	} else {
 		b.logf("collection %s: loaded from cache", ck)
@@ -500,7 +500,7 @@ var BeamWidthSweep = []int{1, 2, 4, 8, 16, 32}
 // sortedKeys is a small test helper.
 func sortedKeys(m map[string]*execsEntry) []string {
 	out := make([]string, 0, len(m))
-	for k := range m {
+	for k := range m { //annlint:allow mapiter -- key order is restored by the sort below
 		out = append(out, k)
 	}
 	sort.Strings(out)

@@ -37,7 +37,7 @@ func runExtD(ctx context.Context, b *Bench, w io.Writer) error {
 	}
 	da, ok := monoStack.Col.Segments()[0].Index.(*diskann.Index)
 	if !ok {
-		return fmt.Errorf("extD: monolithic stack holds %T, want *diskann.Index", monoStack.Col.Segments()[0].Index)
+		return fmt.Errorf("extD: %w: monolithic stack holds %T, want *diskann.Index", vdb.ErrBadParams, monoStack.Col.Segments()[0].Index)
 	}
 	var page int64
 	alloc := func(n int64) int64 { p := page; page += n; return p }

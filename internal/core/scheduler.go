@@ -105,13 +105,13 @@ func (s *Scheduler) Run(ctx context.Context, cells []cell) error {
 		errMu    sync.Mutex
 		firstErr error
 		done     int
-		start    = time.Now()
+		start    = time.Now() //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 	)
 	complete := func(key string, err error) {
 		errMu.Lock()
 		done++
 		d, total := done, n
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //annlint:allow wallclock -- host-side progress timing, never enters the simulation
 		var eta time.Duration
 		if d > 0 && d < total {
 			eta = time.Duration(int64(elapsed) / int64(d) * int64(total-d))

@@ -60,7 +60,7 @@ func (b *Bench) tune(ctx context.Context, st *Stack) error {
 		})
 		st.Opts = index.SearchOptions{SearchList: L, BeamWidth: 4}
 	default:
-		return fmt.Errorf("tune: unknown index kind %q", st.Setup.Index)
+		return fmt.Errorf("tune: %w: unknown index kind %q", vdb.ErrBadParams, st.Setup.Index)
 	}
 	return nil
 }

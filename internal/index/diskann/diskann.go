@@ -263,7 +263,7 @@ func (ix *Index) greedySearchBuild(q index.QueryScorer, L int, skip int32) []ind
 		}
 	}
 	out := make([]index.Neighbor, 0, len(visited))
-	for id, dist := range visited {
+	for id, dist := range visited { //annlint:allow mapiter -- fully ordered by the (Dist, ID) sort below
 		if id == skip {
 			continue
 		}

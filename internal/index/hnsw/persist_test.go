@@ -75,3 +75,31 @@ func TestPersistRejectsGarbage(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestSnapshotByteIdentical is the behavioral property the mapiter analyzer
+// guards: two independent builds from the same (seed, config) must persist
+// to exactly the same bytes, or the scheduler's deterministic merge and the
+// collection cache break.
+func TestSnapshotByteIdentical(t *testing.T) {
+	ds := dataset.Generate(dataset.Spec{
+		Name: "hnsw-det", N: 500, Dim: 24, NumQueries: 10,
+		Clusters: 8, Seed: 31, Metric: vec.Cosine, GroundK: 10,
+	})
+	snap := func() []byte {
+		ix, err := Build(ds.Vectors, nil, Config{M: 8, EfConstruction: 60, Seed: 5, Metric: ds.Spec.Metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := binenc.NewWriter(&buf)
+		ix.WriteTo(w)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := snap(), snap()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two builds from the same seed persisted different bytes (%d vs %d)", len(a), len(b))
+	}
+}

@@ -68,3 +68,28 @@ func TestPersistRejectsWrongData(t *testing.T) {
 		t.Error("row-count mismatch accepted")
 	}
 }
+
+// TestSnapshotByteIdentical is the behavioral property the mapiter analyzer
+// guards: two independent builds from the same (seed, config) must persist
+// to exactly the same bytes, or the scheduler's deterministic merge and the
+// collection cache break.
+func TestSnapshotByteIdentical(t *testing.T) {
+	ds := testData(t)
+	snap := func() []byte {
+		ix, err := Build(ds.Vectors, nil, Config{Metric: ds.Spec.Metric, Seed: 1, PQ: true, PQM: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w := binenc.NewWriter(&buf)
+		ix.WriteTo(w)
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := snap(), snap()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two builds from the same seed persisted different bytes (%d vs %d)", len(a), len(b))
+	}
+}

@@ -164,7 +164,7 @@ type SizeBucket struct {
 // SizeHistogram returns request sizes sorted ascending.
 func (t *Tracer) SizeHistogram() []SizeBucket {
 	out := make([]SizeBucket, 0, len(t.sizeHist))
-	for sz, n := range t.sizeHist {
+	for sz, n := range t.sizeHist { //annlint:allow mapiter -- unique Bytes keys; order restored by the sort below
 		out = append(out, SizeBucket{Bytes: sz, Count: n})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Bytes < out[j].Bytes })

@@ -170,7 +170,7 @@ func (c *Collection) buildIndex(data *vec.Matrix, ids []int32, segSeed int64) (i
 	case IndexDiskANN:
 		return diskann.Build(data, ids, diskann.Config{R: c.params.R, LBuild: c.params.LBuild, Alpha: c.params.Alpha, Metric: c.metric, Seed: seed})
 	default:
-		return nil, fmt.Errorf("vdb: unknown index kind %q", c.kind)
+		return nil, fmt.Errorf("%w: unknown index kind %q", ErrBadParams, c.kind)
 	}
 }
 

@@ -33,3 +33,15 @@ func TestBadParamsSentinel(t *testing.T) {
 		t.Errorf("dim-mismatched insert: err = %v, want ErrBadParams", err)
 	}
 }
+
+// TestUnknownIndexKindWrapsBadParams pins the errwrap fix in
+// buildIndex: an unknown index kind is caller input, so the error must
+// carry ErrBadParams for annbench's exit-code classification (exit 2, not
+// the internal-failure exit 1 a bare fmt.Errorf caused).
+func TestUnknownIndexKindWrapsBadParams(t *testing.T) {
+	c := &Collection{kind: IndexKind("quantum-skiplist"), metric: vec.Cosine, params: DefaultBuildParams()}
+	_, err := c.buildIndex(vec.NewMatrix(1, 4), nil, 0)
+	if !errors.Is(err, ErrBadParams) {
+		t.Errorf("unknown index kind: err = %v, want ErrBadParams in the chain", err)
+	}
+}

@@ -44,7 +44,9 @@ func (c *Collection) Save(path string) error {
 		default:
 			f.Close()
 			os.Remove(tmp)
-			return fmt.Errorf("vdb: save: unsupported index type %T", s.Index)
+			// A cache-ineligible index reaching Save is a harness bug, not
+			// caller input, so it stays an internal (exit 1) error.
+			return fmt.Errorf("vdb: save: unsupported index type %T", s.Index) //annlint:allow errwrap -- harness bug, internal by design
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -114,7 +116,7 @@ func LoadCollection(path string, data *vec.Matrix, traits Traits, params BuildPa
 		case IndexIVFFlat, IndexIVFPQ:
 			ix, err = ivf.ReadFrom(r, sub, ids)
 		default:
-			err = fmt.Errorf("vdb: load: unknown index kind %q", kind)
+			err = fmt.Errorf("vdb: load: unknown index kind %q", kind) //annlint:allow errwrap -- corrupt snapshot bytes are a cache condition, not caller parameters
 		}
 		if err != nil {
 			return nil, err
