@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench
+.PHONY: all build test race vet lint check bench fuzz
 
 all: build
 
@@ -34,3 +34,13 @@ check: vet lint build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Short coverage-guided fuzzing of the node-cache invariants (the seeded
+# corpora already run as part of every plain `go test`); each target gets a
+# brief budget so CI exercises the mutation engine without open-ended runs.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzLRUVsModel -fuzztime=$(FUZZTIME) ./internal/storage/nodecache
+	$(GO) test -run=^$$ -fuzz=FuzzStaticVsModel -fuzztime=$(FUZZTIME) ./internal/storage/nodecache
+	$(GO) test -run=^$$ -fuzz=FuzzDeterministicReplay -fuzztime=$(FUZZTIME) ./internal/storage/nodecache

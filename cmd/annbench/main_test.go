@@ -18,7 +18,7 @@ func TestRunList(t *testing.T) {
 	if err := run(context.Background(), []string{"-list"}, &out, &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"table1", "table2", "fig2", "fig15", "extA", "extD"} {
+	for _, want := range []string{"table1", "table2", "fig2", "fig15", "extA", "extD", "cache"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("list missing %q", want)
 		}

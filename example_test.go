@@ -59,6 +59,6 @@ func ExampleExperiments() {
 	first, _ := svdbench.ExperimentByID("table1")
 	fmt.Println(first.Paper)
 	// Output:
-	// 20 experiments
+	// 21 experiments
 	// Table I
 }

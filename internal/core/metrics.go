@@ -92,6 +92,13 @@ type Metrics struct {
 	Frac4KiB float64
 	// MeanReadBytes is the average read request size.
 	MeanReadBytes float64
+	// ReadOps counts device read requests issued during the run.
+	ReadOps int64
+	// CacheHits counts pages the node cache served instead of the device;
+	// CacheHitRate is the byte fraction of would-be reads it absorbed.
+	// Both stay zero when no node cache is configured.
+	CacheHits    int64
+	CacheHitRate float64
 	// Served counts completed queries; Failed counts rejected ones
 	// (e.g. out of memory).
 	Served int64
@@ -102,8 +109,12 @@ type Metrics struct {
 func (m Metrics) KiBPerQuery() float64 { return m.BytesPerQuery / 1024 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("qps=%.1f±%.1f p99=%v cpu=%.1f%% read=%.1fMiB/s perQ=%.1fKiB served=%d failed=%d",
+	s := fmt.Sprintf("qps=%.1f±%.1f p99=%v cpu=%.1f%% read=%.1fMiB/s perQ=%.1fKiB served=%d failed=%d",
 		m.QPS, m.QPSStd, m.P99, 100*m.CPUUtil, m.ReadMiBps, m.KiBPerQuery(), m.Served, m.Failed)
+	if m.CacheHits > 0 {
+		s += fmt.Sprintf(" cache=%.1f%%", 100*m.CacheHitRate)
+	}
+	return s
 }
 
 // AggregateRuns folds repetition metrics into one Metrics with mean and
@@ -128,6 +139,9 @@ func AggregateRuns(reps []Metrics) Metrics {
 		out.BytesPerQuery += r.BytesPerQuery / float64(len(reps))
 		out.Frac4KiB += r.Frac4KiB / float64(len(reps))
 		out.MeanReadBytes += r.MeanReadBytes / float64(len(reps))
+		out.CacheHitRate += r.CacheHitRate / float64(len(reps))
+		out.ReadOps += r.ReadOps
+		out.CacheHits += r.CacheHits
 		out.Served += r.Served
 		out.Failed += r.Failed
 	}

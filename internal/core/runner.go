@@ -216,6 +216,9 @@ func runOnce(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig, seed int64
 	m.WriteMiBps = sum.WriteMiBps
 	m.Frac4KiB = sum.Frac4KiB
 	m.MeanReadBytes = sum.MeanReadBytes
+	m.ReadOps = sum.ReadOps
+	m.CacheHits = sum.CacheHits
+	m.CacheHitRate = sum.CacheHitRate
 	if served > 0 {
 		m.BytesPerQuery = float64(sum.ReadBytes) / float64(served)
 	}

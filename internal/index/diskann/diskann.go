@@ -24,6 +24,7 @@ import (
 
 	"svdbench/internal/index"
 	"svdbench/internal/index/pq"
+	"svdbench/internal/storage/nodecache"
 	"svdbench/internal/vec"
 )
 
@@ -61,6 +62,13 @@ type Index struct {
 
 	basePage     int64
 	pagesPerNode int
+
+	// nodeCaches holds one node cache per (policy, capacity) requested
+	// through search options, created lazily on first use. Static caches
+	// are BFS-warmed at creation; LRU caches start cold and evolve across
+	// the queries recorded against them.
+	cacheMu    sync.Mutex
+	nodeCaches map[string]*nodecache.Cache
 }
 
 // Build constructs the Vamana graph with the standard two passes and trains
@@ -377,6 +385,95 @@ func (ix *Index) StorageBytes() int64 {
 // Degree returns the out-degree of a node (for tests).
 func (ix *Index) Degree(row int32) int { return len(ix.graph[row]) }
 
+// CacheWarmNodes returns up to n node rows in breadth-first order from the
+// medoid — the warm set of a static node cache, mirroring real DiskANN's
+// num_nodes_to_cache: the nodes every beam search crosses first are the
+// nodes worth pinning. The order is deterministic (adjacency lists are
+// deterministic given the build seed).
+func (ix *Index) CacheWarmNodes(n int) []int32 {
+	if n > ix.data.Len() {
+		n = ix.data.Len()
+	}
+	if n <= 0 {
+		return nil
+	}
+	visited := make([]bool, ix.data.Len())
+	queue := make([]int32, 0, n)
+	queue = append(queue, ix.medoid)
+	visited[ix.medoid] = true
+	out := make([]int32, 0, n)
+	for len(queue) > 0 && len(out) < n {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, nb := range ix.graph[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return out
+}
+
+// cacheKey renders the cache identity of one option set.
+func cacheKey(policy nodecache.Policy, nodes int) string {
+	return fmt.Sprintf("%s/%d", policy, nodes)
+}
+
+// nodeCacheFor returns (creating and, for the static policy, BFS-warming on
+// first use) the node cache selected by the options, or nil when caching is
+// disabled. An unknown policy name panics: the harness layers validate user
+// input before it reaches a Search call.
+func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
+	if opts.NodeCacheNodes <= 0 {
+		return nil
+	}
+	policy, err := nodecache.ParsePolicy(opts.NodeCachePolicy)
+	if err != nil {
+		panic(err.Error())
+	}
+	key := cacheKey(policy, opts.NodeCacheNodes)
+	ix.cacheMu.Lock()
+	defer ix.cacheMu.Unlock()
+	if c, ok := ix.nodeCaches[key]; ok {
+		return c
+	}
+	c := nodecache.New(nodecache.Config{
+		Capacity: opts.NodeCacheNodes,
+		Policy:   policy,
+		PageSize: ix.cfg.PageSize,
+		Seed:     ix.cfg.Seed,
+	})
+	if policy == nodecache.PolicyStatic {
+		c.Warm(ix.CacheWarmNodes(opts.NodeCacheNodes), func(int32) int { return ix.pagesPerNode })
+	}
+	if ix.nodeCaches == nil {
+		ix.nodeCaches = map[string]*nodecache.Cache{}
+	}
+	ix.nodeCaches[key] = c
+	return c
+}
+
+// CacheSnapshot reports the counters of the node cache the options select,
+// or ok=false when no search has instantiated it yet.
+func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bool) {
+	if opts.NodeCacheNodes <= 0 {
+		return nodecache.Snapshot{}, false
+	}
+	policy, err := nodecache.ParsePolicy(opts.NodeCachePolicy)
+	if err != nil {
+		return nodecache.Snapshot{}, false
+	}
+	ix.cacheMu.Lock()
+	defer ix.cacheMu.Unlock()
+	c, ok := ix.nodeCaches[cacheKey(policy, opts.NodeCacheNodes)]
+	if !ok {
+		return nodecache.Snapshot{}, false
+	}
+	return c.Snapshot(), true
+}
+
 // searchEntry is one candidate-list slot during beam search.
 type searchEntry struct {
 	id      int32
@@ -399,6 +496,7 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	}
 	rec := opts.Recorder
 	stats := index.Stats{}
+	cache := ix.nodeCacheFor(opts)
 
 	qs := ix.scorer.Query(q)
 	table := ix.quantizer.BuildTable(q)
@@ -451,13 +549,26 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 			break
 		}
 		stats.Hops++
-		// Fetch the beam's pages from storage (one parallel batch).
+		// Fetch the beam from storage (one parallel batch), routing each
+		// node through the node cache first: a hit serves the node's pages
+		// at in-memory cost instead of issuing device reads.
 		pages = pages[:0]
+		cachedPages := 0
 		for _, bi := range beam {
-			pages = append(pages, ix.nodePages(cands[bi].id)...)
+			id := cands[bi].id
+			if cache != nil && cache.Touch(id, ix.pagesPerNode) {
+				cachedPages += ix.pagesPerNode
+				continue
+			}
+			pages = append(pages, ix.nodePages(id)...)
 		}
 		stats.PagesRead += len(pages)
+		stats.CachePages += cachedPages
 		rec.AddCPU(ix.cost.Heap(len(cands)))
+		if cachedPages > 0 {
+			rec.AddCPU(cache.HitCost(cachedPages))
+			rec.AddCacheHit(cachedPages)
+		}
 		rec.AddIO(pages)
 		// Expand each fetched node: exact re-rank plus PQ-scored
 		// neighbour insertion.

@@ -455,6 +455,11 @@ func (ix *Index) Len() int { return ix.data.Len() }
 // MaxLevel returns the top layer of the graph.
 func (ix *Index) MaxLevel() int { return ix.maxLevel }
 
+// Entry returns the row every search descends from (the top-layer entry
+// point), or -1 for an empty graph. SPANN uses it to warm its static node
+// cache with the postings nearest the navigator's entry.
+func (ix *Index) Entry() int32 { return ix.entry }
+
 // MemoryBytes implements index.SizeReporter.
 func (ix *Index) MemoryBytes() int64 {
 	var linkBytes int64

@@ -36,8 +36,37 @@ type SearchOptions struct {
 	// Filter restricts results to ids for which it returns true (nil
 	// means no filtering). Implements the filtered-search extension.
 	Filter func(id int32) bool
+	// NodeCacheNodes is the capacity, in nodes, of the index-aware node
+	// cache storage-based indexes (DiskANN, SPANN) consult before issuing
+	// beam or posting reads. Zero disables the cache entirely, leaving
+	// the recorded execution byte-identical to the uncached one.
+	NodeCacheNodes int
+	// NodeCachePolicy selects the node-cache replacement policy:
+	// NodeCacheStatic (a BFS-warmed fixed set, DiskANN's
+	// num_nodes_to_cache) or NodeCacheLRU (dynamic, the default when
+	// empty). Ignored while NodeCacheNodes is zero.
+	NodeCachePolicy string
 	// Recorder, when non-nil, receives the query's execution profile.
 	Recorder *Profile
+}
+
+// Node-cache policy names understood by the storage-based indexes; they
+// mirror internal/storage/nodecache's Policy values without importing it.
+const (
+	// NodeCacheStatic caches a fixed node set warmed by BFS from the
+	// traversal entry point.
+	NodeCacheStatic = "static"
+	// NodeCacheLRU caches nodes least-recently-used, admitting on miss.
+	NodeCacheLRU = "lru"
+)
+
+// NodeCacheMutable reports whether the options select a node cache whose
+// state evolves across queries (every policy except the static set).
+// Recording against a mutable cache must be sequential in query order —
+// vdb.Collection.RecordQueries serialises itself when this is true — or the
+// recorded executions would depend on host goroutine interleaving.
+func (o SearchOptions) NodeCacheMutable() bool {
+	return o.NodeCacheNodes > 0 && o.NodeCachePolicy != NodeCacheStatic
 }
 
 // Result is a completed search: ids ordered closest-first with their
@@ -58,6 +87,9 @@ type Stats struct {
 	Hops int
 	// PagesRead is the number of 4 KiB pages fetched from storage.
 	PagesRead int
+	// CachePages is the number of pages served by the node cache instead
+	// of storage; PagesRead+CachePages is invariant under caching.
+	CachePages int
 }
 
 // Add accumulates other into s.
@@ -66,6 +98,7 @@ func (s *Stats) Add(other Stats) {
 	s.PQComps += other.PQComps
 	s.Hops += other.Hops
 	s.PagesRead += other.PagesRead
+	s.CachePages += other.CachePages
 }
 
 // Index is a built vector index ready to answer k-NN queries.
@@ -146,6 +179,12 @@ type Step struct {
 	// Contiguous marks the page batch as one sequential multi-page read
 	// (a posting list) rather than parallel random reads (a beam).
 	Contiguous bool
+	// CachePages counts pages the node cache absorbed in this step: reads
+	// the search would have issued to the device but served from cache at
+	// hit cost (the hit cost is already folded into CPU). The replay
+	// engine reports them to the tracer so hit rates appear in run
+	// metrics without any device traffic.
+	CachePages int
 }
 
 // Profile is the recorded execution of one query against one index: the
@@ -155,6 +194,8 @@ type Profile struct {
 	Steps []Step
 	// pending accumulates CPU cost not yet flushed into a step.
 	pending time.Duration
+	// pendingCache accumulates node-cache page hits not yet flushed.
+	pendingCache int
 }
 
 // AddCPU accumulates compute time into the current (unflushed) step.
@@ -165,6 +206,15 @@ func (p *Profile) AddCPU(d time.Duration) {
 	p.pending += d
 }
 
+// AddCacheHit accumulates node-cache page hits into the current (unflushed)
+// step; the caller charges the corresponding hit cost through AddCPU.
+func (p *Profile) AddCacheHit(pages int) {
+	if p == nil {
+		return
+	}
+	p.pendingCache += pages
+}
+
 // AddIO flushes the pending compute plus the given parallel page batch as
 // one step.
 func (p *Profile) AddIO(pages []int64) {
@@ -173,8 +223,9 @@ func (p *Profile) AddIO(pages []int64) {
 	}
 	cp := make([]int64, len(pages))
 	copy(cp, pages)
-	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp})
+	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, CachePages: p.pendingCache})
 	p.pending = 0
+	p.pendingCache = 0
 }
 
 // AddContiguousIO flushes the pending compute plus one sequential
@@ -185,18 +236,21 @@ func (p *Profile) AddContiguousIO(pages []int64) {
 	}
 	cp := make([]int64, len(pages))
 	copy(cp, pages)
-	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, Contiguous: true})
+	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, Contiguous: true, CachePages: p.pendingCache})
 	p.pending = 0
+	p.pendingCache = 0
 }
 
-// Flush closes the profile, emitting any pending compute as a final step.
+// Flush closes the profile, emitting any pending compute or cache hits as a
+// final step.
 func (p *Profile) Flush() {
 	if p == nil {
 		return
 	}
-	if p.pending > 0 {
-		p.Steps = append(p.Steps, Step{CPU: p.pending})
+	if p.pending > 0 || p.pendingCache > 0 {
+		p.Steps = append(p.Steps, Step{CPU: p.pending, CachePages: p.pendingCache})
 		p.pending = 0
+		p.pendingCache = 0
 	}
 }
 
@@ -214,6 +268,15 @@ func (p *Profile) TotalPages() int {
 	n := 0
 	for _, s := range p.Steps {
 		n += len(s.Pages)
+	}
+	return n
+}
+
+// TotalCachePages counts the pages the node cache absorbed across steps.
+func (p *Profile) TotalCachePages() int {
+	n := p.pendingCache
+	for _, s := range p.Steps {
+		n += s.CachePages
 	}
 	return n
 }

@@ -80,7 +80,7 @@ func TestProfileFlushEmptyNoStep(t *testing.T) {
 func TestStatsAdd(t *testing.T) {
 	a := Stats{DistComps: 1, PQComps: 2, Hops: 3, PagesRead: 4}
 	a.Add(Stats{DistComps: 10, PQComps: 20, Hops: 30, PagesRead: 40})
-	if a != (Stats{11, 22, 33, 44}) {
+	if a != (Stats{DistComps: 11, PQComps: 22, Hops: 33, PagesRead: 44}) {
 		t.Errorf("stats add = %+v", a)
 	}
 }

@@ -22,6 +22,19 @@ func WithSearchList(l int) SearchOption { return func(o *SearchOptions) { o.Sear
 // storage per search iteration.
 func WithBeamWidth(w int) SearchOption { return func(o *SearchOptions) { o.BeamWidth = w } }
 
+// WithNodeCacheNodes sets the node-cache capacity, in nodes, that
+// storage-based indexes (DiskANN, SPANN) consult before issuing beam or
+// posting reads. Zero (the default) disables the cache.
+func WithNodeCacheNodes(n int) SearchOption {
+	return func(o *SearchOptions) { o.NodeCacheNodes = n }
+}
+
+// WithNodeCachePolicy selects the node-cache replacement policy:
+// NodeCacheStatic or NodeCacheLRU (the default when empty).
+func WithNodeCachePolicy(policy string) SearchOption {
+	return func(o *SearchOptions) { o.NodeCachePolicy = policy }
+}
+
 // WithFilter restricts results to ids for which f returns true (nil clears
 // the filter).
 func WithFilter(f func(id int32) bool) SearchOption {

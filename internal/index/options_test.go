@@ -20,6 +20,33 @@ func TestSearchOptionsWithIsCopy(t *testing.T) {
 	}
 }
 
+func TestWithNodeCacheOptions(t *testing.T) {
+	o := NewSearchOptions(WithNodeCacheNodes(500), WithNodeCachePolicy(NodeCacheStatic))
+	if o.NodeCacheNodes != 500 || o.NodeCachePolicy != NodeCacheStatic {
+		t.Errorf("cache options not applied: %+v", o)
+	}
+}
+
+func TestNodeCacheMutable(t *testing.T) {
+	cases := []struct {
+		nodes  int
+		policy string
+		want   bool
+	}{
+		{0, "", false},               // disabled
+		{0, NodeCacheLRU, false},     // disabled regardless of policy
+		{10, NodeCacheStatic, false}, // static never mutates
+		{10, NodeCacheLRU, true},     // LRU evolves across queries
+		{10, "", true},               // empty policy defaults to LRU
+	}
+	for _, c := range cases {
+		o := SearchOptions{NodeCacheNodes: c.nodes, NodeCachePolicy: c.policy}
+		if got := o.NodeCacheMutable(); got != c.want {
+			t.Errorf("NodeCacheMutable(nodes=%d, policy=%q) = %v, want %v", c.nodes, c.policy, got, c.want)
+		}
+	}
+}
+
 func TestWithFilter(t *testing.T) {
 	o := NewSearchOptions(WithFilter(func(id int32) bool { return id%2 == 0 }))
 	if o.Filter == nil || !o.Filter(2) || o.Filter(3) {

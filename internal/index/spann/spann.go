@@ -20,10 +20,13 @@ package spann
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"svdbench/internal/index"
 	"svdbench/internal/index/hnsw"
 	"svdbench/internal/index/kmeans"
+	"svdbench/internal/storage/nodecache"
 	"svdbench/internal/vec"
 )
 
@@ -57,6 +60,12 @@ type Index struct {
 	replicas  int64       // total posting entries (≥ n)
 	cost      index.CostModel
 	scorer    *index.Scorer
+
+	// nodeCaches holds one posting cache per (policy, capacity) requested
+	// through search options; a "node" here is one posting list, SPANN's
+	// unit of storage access.
+	cacheMu    sync.Mutex
+	nodeCaches map[string]*nodecache.Cache
 }
 
 // Build clusters the data into page-friendly postings with boundary
@@ -176,6 +185,103 @@ func (ix *Index) StorageBytes() int64 {
 	return total
 }
 
+// CacheWarmPostings returns up to n posting ids ordered by centroid
+// distance from the navigator's entry point (ties broken by id) — the warm
+// set of a static node cache. It is SPANN's analogue of DiskANN's BFS from
+// the medoid: every query descends the navigator from the same entry, so
+// the postings around it are touched most. Postings with no assigned pages
+// are skipped; they would occupy capacity without saving any I/O.
+func (ix *Index) CacheWarmPostings(n int) []int32 {
+	nc := ix.centroids.Len()
+	if n > nc {
+		n = nc
+	}
+	if n <= 0 {
+		return nil
+	}
+	entry := ix.navigator.Entry()
+	if entry < 0 {
+		return nil
+	}
+	ev := ix.centroids.Row(int(entry))
+	type cand struct {
+		id int32
+		d  float32
+	}
+	cands := make([]cand, 0, nc)
+	for c := 0; c < nc; c++ {
+		if ix.pages != nil && len(ix.pages[c]) == 0 {
+			continue
+		}
+		cands = append(cands, cand{id: int32(c), d: vec.L2Sq(ev, ix.centroids.Row(c))})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// nodeCacheFor returns (creating on first use) the posting cache the
+// options select, or nil when caching is disabled.
+func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
+	if opts.NodeCacheNodes <= 0 {
+		return nil
+	}
+	policy, err := nodecache.ParsePolicy(opts.NodeCachePolicy)
+	if err != nil {
+		panic(err.Error())
+	}
+	key := fmt.Sprintf("%s/%d", policy, opts.NodeCacheNodes)
+	ix.cacheMu.Lock()
+	defer ix.cacheMu.Unlock()
+	if c, ok := ix.nodeCaches[key]; ok {
+		return c
+	}
+	c := nodecache.New(nodecache.Config{
+		Capacity: opts.NodeCacheNodes,
+		Policy:   policy,
+		PageSize: ix.cfg.PageSize,
+		Seed:     ix.cfg.Seed,
+	})
+	if policy == nodecache.PolicyStatic {
+		c.Warm(ix.CacheWarmPostings(opts.NodeCacheNodes), func(p int32) int { return len(ix.pages[p]) })
+	}
+	if ix.nodeCaches == nil {
+		ix.nodeCaches = map[string]*nodecache.Cache{}
+	}
+	ix.nodeCaches[key] = c
+	return c
+}
+
+// CacheSnapshot reports the counters of the posting cache the options
+// select, or ok=false when no search has instantiated it yet.
+func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bool) {
+	if opts.NodeCacheNodes <= 0 {
+		return nodecache.Snapshot{}, false
+	}
+	policy, err := nodecache.ParsePolicy(opts.NodeCachePolicy)
+	if err != nil {
+		return nodecache.Snapshot{}, false
+	}
+	ix.cacheMu.Lock()
+	defer ix.cacheMu.Unlock()
+	c, ok := ix.nodeCaches[fmt.Sprintf("%s/%d", policy, opts.NodeCacheNodes)]
+	if !ok {
+		return nodecache.Snapshot{}, false
+	}
+	return c.Snapshot(), true
+}
+
 // Search implements index.Index: navigate centroids in memory, read the
 // NProbe closest posting lists from storage (each one a contiguous
 // multi-page request), and scan them with full-precision distances.
@@ -189,6 +295,7 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	}
 	rec := opts.Recorder
 	stats := index.Stats{}
+	cache := ix.nodeCacheFor(opts)
 
 	// In-memory centroid navigation (its compute is charged through the
 	// navigator's own recorder into ours).
@@ -205,9 +312,17 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	for _, c := range nav.IDs {
 		list := ix.postings[c]
 		if ix.pages != nil && len(ix.pages[c]) > 0 {
-			// One posting probe = one contiguous multi-page read.
-			rec.AddContiguousIO(ix.pages[c])
-			stats.PagesRead += len(ix.pages[c])
+			if cache != nil && cache.Touch(c, len(ix.pages[c])) {
+				// Cached posting: charge the in-memory hit cost
+				// instead of the contiguous device read.
+				stats.CachePages += len(ix.pages[c])
+				rec.AddCPU(cache.HitCost(len(ix.pages[c])))
+				rec.AddCacheHit(len(ix.pages[c]))
+			} else {
+				// One posting probe = one contiguous multi-page read.
+				rec.AddContiguousIO(ix.pages[c])
+				stats.PagesRead += len(ix.pages[c])
+			}
 		}
 		for _, row := range list {
 			if scored[row] {

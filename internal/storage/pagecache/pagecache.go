@@ -30,18 +30,38 @@ type Cache struct {
 	misses int64
 }
 
+// DefaultHitCost is the in-memory access time a cache hit costs when no
+// WithHitCost option overrides it (roughly a DRAM-resident page touch).
+const DefaultHitCost = 120 * time.Nanosecond
+
+// Option configures a Cache at construction time.
+type Option func(*Cache)
+
+// WithHitCost overrides the virtual time one cache hit costs. Non-positive
+// values make hits free.
+func WithHitCost(d sim.Duration) Option {
+	return func(c *Cache) { c.hitCost = d }
+}
+
 // New creates a cache over dev holding at most capacity pages (<=0 for
 // unbounded, modelling a machine with ample DRAM as in the paper's Qdrant
 // configuration).
-func New(dev *ssd.Device, capacity int) *Cache {
-	return &Cache{
+func New(dev *ssd.Device, capacity int, opts ...Option) *Cache {
+	c := &Cache{
 		dev:      dev,
 		capacity: capacity,
-		hitCost:  120 * time.Nanosecond,
+		hitCost:  DefaultHitCost,
 		lru:      list.New(),
 		index:    make(map[int64]*list.Element),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
+
+// HitCost returns the virtual time one cache hit costs.
+func (c *Cache) HitCost() sim.Duration { return c.hitCost }
 
 // Touch accesses one page through the cache: a hit costs the in-memory hit
 // time; a miss reads the page from the device and caches it.
@@ -49,7 +69,9 @@ func (c *Cache) Touch(e *sim.Env, page int64) {
 	if el, ok := c.index[page]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		e.Sleep(c.hitCost)
+		if c.hitCost > 0 {
+			e.Sleep(c.hitCost)
+		}
 		return
 	}
 	c.misses++

@@ -1,0 +1,166 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"svdbench/internal/sim"
+	"svdbench/internal/storage/ssd"
+)
+
+func TestHitCostDefault(t *testing.T) {
+	k, _, c := newCache(0)
+	if c.HitCost() != DefaultHitCost {
+		t.Fatalf("HitCost = %v, want %v", c.HitCost(), DefaultHitCost)
+	}
+	var hitTime sim.Duration
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		t0 := e.Now()
+		c.Touch(e, 1)
+		hitTime = e.Now().Sub(t0)
+	})
+	k.RunAll()
+	if hitTime != DefaultHitCost {
+		t.Errorf("hit took %v, want %v", hitTime, DefaultHitCost)
+	}
+}
+
+func TestHitCostOption(t *testing.T) {
+	custom := 5 * time.Microsecond
+	k := sim.NewKernel()
+	dev := ssd.New(k, nil, ssd.DefaultConfig())
+	c := New(dev, 0, WithHitCost(custom))
+	if c.HitCost() != custom {
+		t.Fatalf("HitCost = %v, want %v", c.HitCost(), custom)
+	}
+	var hitTime sim.Duration
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		t0 := e.Now()
+		c.Touch(e, 1)
+		hitTime = e.Now().Sub(t0)
+	})
+	k.RunAll()
+	if hitTime != custom {
+		t.Errorf("hit took %v, want %v", hitTime, custom)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", hits, misses)
+	}
+}
+
+func TestHitCostZeroMakesHitsFree(t *testing.T) {
+	k := sim.NewKernel()
+	dev := ssd.New(k, nil, ssd.DefaultConfig())
+	c := New(dev, 0, WithHitCost(0))
+	var hitTime sim.Duration
+	k.Spawn("p", func(e *sim.Env) {
+		c.Touch(e, 1)
+		t0 := e.Now()
+		c.Touch(e, 1)
+		hitTime = e.Now().Sub(t0)
+	})
+	k.RunAll()
+	if hitTime != 0 {
+		t.Errorf("free hit took %v, want 0", hitTime)
+	}
+}
+
+// pageModel is an obviously-correct reference LRU over int64 pages: a
+// MRU-first slice. The property tests below drive Cache and the model with
+// the same operation sequence and demand identical behaviour.
+type pageModel struct {
+	capacity int // <=0 unbounded
+	order    []int64
+	hits     int64
+	misses   int64
+}
+
+func (m *pageModel) find(p int64) int {
+	for i, q := range m.order {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *pageModel) insert(p int64) {
+	if i := m.find(p); i >= 0 {
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+	m.order = append([]int64{p}, m.order...)
+	if m.capacity > 0 && len(m.order) > m.capacity {
+		m.order = m.order[:m.capacity]
+	}
+}
+
+func (m *pageModel) touch(p int64) {
+	if m.find(p) >= 0 {
+		m.hits++
+		m.insert(p)
+		return
+	}
+	m.misses++
+	m.insert(p)
+}
+
+func (m *pageModel) drop() { m.order = nil }
+
+// TestPropertyLRUMatchesModel drives random touch/warm/drop sequences
+// through the cache and the reference model, checking after every step that
+// residency, size, and hit/miss accounting agree and that the resident set
+// never exceeds capacity.
+func TestPropertyLRUMatchesModel(t *testing.T) {
+	for _, capacity := range []int{1, 2, 7, 32} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed*7919 + int64(capacity)))
+			k := sim.NewKernel()
+			dev := ssd.New(k, nil, ssd.DefaultConfig())
+			c := New(dev, capacity)
+			m := &pageModel{capacity: capacity}
+			universe := make([]int64, 3*capacity+5)
+			for i := range universe {
+				universe[i] = int64(i)
+			}
+			k.Spawn("driver", func(e *sim.Env) {
+				for step := 0; step < 400; step++ {
+					switch r := rng.Intn(100); {
+					case r < 80:
+						p := universe[rng.Intn(len(universe))]
+						c.Touch(e, p)
+						m.touch(p)
+					case r < 95:
+						p := universe[rng.Intn(len(universe))]
+						c.Warm([]int64{p})
+						m.insert(p)
+					default:
+						c.Drop()
+						m.drop()
+					}
+					if c.Len() != len(m.order) {
+						t.Fatalf("cap=%d seed=%d step=%d: len=%d model=%d", capacity, seed, step, c.Len(), len(m.order))
+					}
+					if capacity > 0 && c.Len() > capacity {
+						t.Fatalf("cap=%d seed=%d step=%d: %d resident pages exceed capacity", capacity, seed, step, c.Len())
+					}
+					for _, p := range universe {
+						if c.Contains(p) != (m.find(p) >= 0) {
+							t.Fatalf("cap=%d seed=%d step=%d: page %d residency %v, model %v",
+								capacity, seed, step, p, c.Contains(p), m.find(p) >= 0)
+						}
+					}
+					hits, misses := c.Stats()
+					if hits != m.hits || misses != m.misses {
+						t.Fatalf("cap=%d seed=%d step=%d: stats (%d,%d), model (%d,%d)",
+							capacity, seed, step, hits, misses, m.hits, m.misses)
+					}
+				}
+			})
+			k.RunAll()
+		}
+	}
+}

@@ -100,6 +100,10 @@ func (d *Device) Config() Config { return d.cfg }
 // Passing nil detaches.
 func (d *Device) Attach(t *trace.Tracer) { d.tracer = t }
 
+// Tracer returns the attached tracer (nil when none is attached); the replay
+// engine uses it to report node-cache hits that never reach the device.
+func (d *Device) Tracer() *trace.Tracer { return d.tracer }
+
 // Alloc reserves npages contiguous pages and returns the first page number.
 // The device does not store payload bytes — object contents live in the
 // simulation's host memory — so allocation only assigns addresses for

@@ -56,6 +56,8 @@ type Tracer struct {
 	writeOps  int64
 	readByte  int64
 	writeByte int64
+	cacheHits int64 // pages served by the node cache instead of the device
+	cacheByte int64
 	first     sim.Time
 	last      sim.Time
 	any       bool
@@ -110,6 +112,23 @@ func (t *Tracer) Emit(at sim.Time, op Op, bytes int) {
 	if t.keepRaw {
 		t.records = append(t.records, Record{At: at, Op: op, Bytes: bytes})
 	}
+}
+
+// EmitCacheHit records pages a node cache served instead of the device.
+// Cache hits are not block requests: they do not touch the bandwidth
+// timeline, the size histogram, or the traced window — only the cache
+// counters reported by Summarize.
+func (t *Tracer) EmitCacheHit(pages, bytes int) {
+	if t == nil || !t.enabled {
+		return
+	}
+	t.cacheHits += int64(pages)
+	t.cacheByte += int64(bytes)
+}
+
+// CacheTotals reports the node-cache pages and bytes absorbed so far.
+func (t *Tracer) CacheTotals() (pages, bytes int64) {
+	return t.cacheHits, t.cacheByte
 }
 
 // Totals reports aggregate operation counts and bytes.
@@ -193,6 +212,13 @@ type Summary struct {
 	ReadIOPS      float64
 	Frac4KiB      float64
 	MeanReadBytes float64
+	// CacheHits and CacheBytes count pages (and their bytes) the node
+	// cache served instead of the device; CacheHitRate is the byte
+	// fraction of would-be reads the cache absorbed. All zero when no
+	// cache was in play.
+	CacheHits    int64
+	CacheBytes   int64
+	CacheHitRate float64
 }
 
 // Summarize computes throughput statistics over the given virtual window.
@@ -204,6 +230,11 @@ func (t *Tracer) Summarize(window sim.Duration) Summary {
 		ReadBytes:  t.readByte,
 		WriteBytes: t.writeByte,
 		Frac4KiB:   t.FractionOfSize(4096),
+		CacheHits:  t.cacheHits,
+		CacheBytes: t.cacheByte,
+	}
+	if t.cacheByte+t.readByte > 0 {
+		s.CacheHitRate = float64(t.cacheByte) / float64(t.cacheByte+t.readByte)
 	}
 	if window > 0 {
 		secs := window.Seconds()
@@ -221,5 +252,8 @@ func (s Summary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "window=%v reads=%d (%.1f MiB/s, %.0f IOPS) writes=%d (%.1f MiB/s) 4KiB=%.4f%%",
 		s.Window, s.ReadOps, s.ReadMiBps, s.ReadIOPS, s.WriteOps, s.WriteMiBps, 100*s.Frac4KiB)
+	if s.CacheHits > 0 {
+		fmt.Fprintf(&b, " cache=%d pages (%.1f%% hit)", s.CacheHits, 100*s.CacheHitRate)
+	}
 	return b.String()
 }

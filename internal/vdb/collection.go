@@ -304,9 +304,18 @@ func (c *Collection) SearchDirect(q []float32, k int, opts index.SearchOptions, 
 
 // RecordQueries captures the execution of every query row: the workload the
 // simulation replays. Queries are processed in parallel (host goroutines)
-// since recording is preprocessing.
+// since recording is preprocessing — except when the options select a
+// mutable node cache (LRU), whose state evolves across queries: those are
+// recorded sequentially in query order so the captured executions do not
+// depend on host goroutine interleaving.
 func (c *Collection) RecordQueries(queries *vec.Matrix, k int, opts index.SearchOptions) []QueryExec {
 	out := make([]QueryExec, queries.Len())
+	if opts.NodeCacheMutable() {
+		for qi := range out {
+			out[qi] = c.SearchDirect(queries.Row(qi), k, opts, true)
+		}
+		return out
+	}
 	var wg sync.WaitGroup
 	nw := len(out)
 	sem := make(chan struct{}, 8)

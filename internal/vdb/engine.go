@@ -131,11 +131,16 @@ func (e *Engine) RunQuery(env *sim.Env, qe *QueryExec) error {
 
 // replaySteps walks one segment's recorded steps: each step burns its CPU
 // on a core, then issues its page batch to the device in parallel (beam
-// semantics).
+// semantics). Node-cache hits recorded in a step were already charged as
+// CPU at record time; here they are only reported to the tracer so run
+// metrics can show hit rates alongside the device traffic they displaced.
 func (e *Engine) replaySteps(env *sim.Env, steps []index.Step) {
 	for _, s := range steps {
 		if s.CPU > 0 {
 			e.cpu.Use(env, s.CPU)
+		}
+		if s.CachePages > 0 {
+			e.dev.Tracer().EmitCacheHit(s.CachePages, s.CachePages*e.dev.Config().PageSize)
 		}
 		if len(s.Pages) == 0 {
 			continue

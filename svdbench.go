@@ -211,6 +211,18 @@ func WithEfSearch(ef int) SearchOption  { return index.WithEfSearch(ef) }
 func WithSearchList(l int) SearchOption { return index.WithSearchList(l) }
 func WithBeamWidth(w int) SearchOption  { return index.WithBeamWidth(w) }
 
+// Node-cache options for the storage-based indexes (DiskANN, SPANN): cache
+// the n hottest nodes between beam search and the device. Policies are
+// NodeCacheStatic (BFS-warmed from the entry point) and NodeCacheLRU.
+func WithNodeCacheNodes(n int) SearchOption     { return index.WithNodeCacheNodes(n) }
+func WithNodeCachePolicy(p string) SearchOption { return index.WithNodeCachePolicy(p) }
+
+// Node-cache policy names accepted by WithNodeCachePolicy.
+const (
+	NodeCacheStatic = index.NodeCacheStatic
+	NodeCacheLRU    = index.NodeCacheLRU
+)
+
 // NewBench creates an experiment orchestrator at a dataset scale, caching
 // generated datasets in cacheDir ("" disables).
 func NewBench(scale Scale, cacheDir string) *Bench { return core.NewBench(scale, cacheDir) }
