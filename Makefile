@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench fuzz
+.PHONY: all build test race vet lint check bench bench-pipeline fuzz
 
 all: build
 
@@ -34,6 +34,11 @@ check: vet lint build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Async-pipeline microbenchmarks: regenerates the committed
+# BENCH_pipeline.json wall-clock trajectory artefact (ROADMAP item 5).
+bench-pipeline:
+	$(GO) run ./cmd/pipelinebench -out BENCH_pipeline.json
 
 # Short coverage-guided fuzzing of the node-cache invariants (the seeded
 # corpora already run as part of every plain `go test`); each target gets a

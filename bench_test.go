@@ -74,6 +74,8 @@ func BenchmarkExtAHybridWorkload(b *testing.B)        { runExperiment(b, "extA")
 func BenchmarkExtBFilteredSearch(b *testing.B)        { runExperiment(b, "extB") }
 func BenchmarkExtCAblation(b *testing.B)              { runExperiment(b, "extC") }
 func BenchmarkExtDSPANN(b *testing.B)                 { runExperiment(b, "extD") }
+func BenchmarkExtECache(b *testing.B)                 { runExperiment(b, "cache") }
+func BenchmarkExtFPipeline(b *testing.B)              { runExperiment(b, "pipeline") }
 
 // --- Micro-benchmarks of the core building blocks ---
 
@@ -106,7 +108,7 @@ func BenchmarkDiskANNQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := ds.Queries.Row(i % ds.Queries.Len())
-		st.Col.SearchDirect(q, PaperK, opts, false)
+		st.Col.Search(q, PaperK, opts)
 	}
 }
 

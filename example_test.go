@@ -1,6 +1,7 @@
 package svdbench_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -59,6 +60,40 @@ func ExampleExperiments() {
 	first, _ := svdbench.ExperimentByID("table1")
 	fmt.Println(first.Paper)
 	// Output:
-	// 21 experiments
+	// 22 experiments
 	// Table I
+}
+
+// ExampleCollection_SearchBatch runs a whole query set through the
+// batch-first search core. Each query's result is byte-identical to calling
+// Search per query; the batch runs up to WithQueryConcurrency queries at
+// once and WithLookAhead pipelines each query's storage reads at replay.
+func ExampleCollection_SearchBatch() {
+	spec, err := svdbench.CatalogSpec("cohere-small", svdbench.ScaleTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := svdbench.GenerateDataset(spec)
+
+	col, err := svdbench.NewCollection("demo", ds.Spec.Dim, ds.Spec.Metric,
+		svdbench.Milvus(), svdbench.IndexDiskANN, svdbench.DefaultBuildParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := col.BulkLoad(ds.Vectors, nil); err != nil {
+		log.Fatal(err)
+	}
+	var page int64
+	col.AssignStorage(func(n int64) int64 { p := page; page += n; return p })
+
+	opts := svdbench.NewSearchOptions(
+		svdbench.WithSearchList(10), svdbench.WithBeamWidth(4),
+		svdbench.WithLookAhead(2), svdbench.WithQueryConcurrency(4))
+	execs := col.SearchBatch(context.Background(), ds.Queries, svdbench.PaperK, opts)
+	single := col.Search(ds.Queries.Row(0), svdbench.PaperK, opts)
+	fmt.Println(len(execs) == ds.Queries.Len())
+	fmt.Println(fmt.Sprint(execs[0].IDs) == fmt.Sprint(single.IDs))
+	// Output:
+	// true
+	// true
 }

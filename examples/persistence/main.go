@@ -66,8 +66,8 @@ func main() {
 	restored.AssignStorage(alloc)
 	same := 0
 	for qi := 0; qi < ds.Queries.Len(); qi++ {
-		a := col.SearchDirect(ds.Queries.Row(qi), svdbench.PaperK, opts, false)
-		b := restored.SearchDirect(ds.Queries.Row(qi), svdbench.PaperK, opts, false)
+		a := col.Search(ds.Queries.Row(qi), svdbench.PaperK, opts)
+		b := restored.Search(ds.Queries.Row(qi), svdbench.PaperK, opts)
 		if reflect.DeepEqual(a.IDs, b.IDs) {
 			same++
 		}

@@ -40,7 +40,7 @@ func main() {
 	opts := svdbench.SearchOptions{SearchList: 10, BeamWidth: 4}
 	results := make([][]int32, ds.Queries.Len())
 	for qi := range results {
-		results[qi] = col.SearchDirect(ds.Queries.Row(qi), svdbench.PaperK, opts, false).IDs
+		results[qi] = col.Search(ds.Queries.Row(qi), svdbench.PaperK, opts).IDs
 	}
 	recall := svdbench.MeanRecallAtK(results, ds.GroundTruth, svdbench.PaperK)
 	fmt.Printf("recall@10 at search_list=10: %.3f\n", recall)

@@ -113,7 +113,7 @@ func main() {
 
 	retrieve := func(question string, opts svdbench.SearchOptions) {
 		q := embed(question, dim)
-		exec := col.SearchDirect(q, 3, opts, false)
+		exec := col.Search(q, 3, opts)
 		fmt.Printf("\nQ: %s\n", question)
 		for rank, id := range exec.IDs {
 			p := col.Payload(id)

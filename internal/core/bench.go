@@ -399,9 +399,10 @@ func recallOfExecs(execs []vdb.QueryExec, gt [][]int32) float64 {
 // variantEntry returns (creating on first use) the singleflight entry for
 // one option set.
 func (p *prepared) variantEntry(opts index.SearchOptions) *execsEntry {
-	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d-nc%d-ncp%s",
+	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d-nc%d-ncp%s-la%d-qc%d",
 		opts.NProbe, opts.EfSearch, opts.SearchList, opts.BeamWidth,
-		opts.NodeCacheNodes, opts.NodeCachePolicy)
+		opts.NodeCacheNodes, opts.NodeCachePolicy,
+		opts.LookAhead, opts.QueryConcurrency)
 	p.mu.Lock()
 	e, ok := p.variants[key]
 	if !ok {
@@ -444,7 +445,7 @@ func (b *Bench) RunCellContext(ctx context.Context, st *Stack, execs []vdb.Query
 		return RunOutput{}, err
 	}
 	cfg = b.mergeDefaults(cfg)
-	key := fmt.Sprintf("%s/%s/t%d/d%v/mrc%d/%s", st.DatasetName, st.Setup.Label(), cfg.Threads, cfg.Duration, cfg.MaxReadConcurrent, cellID)
+	key := fmt.Sprintf("%s/%s/t%d/d%v/mrc%d/cr%t/%s", st.DatasetName, st.Setup.Label(), cfg.Threads, cfg.Duration, cfg.MaxReadConcurrent, cfg.CoalesceReads, cellID)
 	b.mu.Lock()
 	e, ok := b.runCache[key]
 	if !ok {

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"svdbench/internal/index"
+	"svdbench/internal/index/spann"
+	"svdbench/internal/vdb"
+)
+
+// pipelinePoint is one cell of the async-pipeline sweep: a look-ahead depth
+// crossed with a closed-loop thread count. la == 0 is the synchronous
+// baseline (no prefetch, direct per-request submission); la > 0 runs the
+// full pipeline — look-ahead prefetch within a query plus coalesced read
+// submission across queries.
+type pipelinePoint struct {
+	la      int
+	threads int
+}
+
+// pipelinePoints returns the sweep grid in deterministic order.
+func pipelinePoints() []pipelinePoint {
+	var pts []pipelinePoint
+	for _, t := range []int{1, 8} {
+		for _, la := range []int{0, 2, 4, 8} {
+			pts = append(pts, pipelinePoint{la: la, threads: t})
+		}
+	}
+	return pts
+}
+
+// prefetchTotals sums the speculative-read accounting across executions.
+func prefetchTotals(execs []vdb.QueryExec) index.Stats {
+	var s index.Stats
+	for i := range execs {
+		s.Add(execs[i].Stats)
+	}
+	return s
+}
+
+// runPipeline measures the async batched pipeline (Extension F): LAANN-style
+// look-ahead prefetch inside each query plus coalesced request submission
+// across queries, against the synchronous baseline. Look-ahead changes only
+// when pages are read — results, demand I/O and recall are byte-identical at
+// every depth — so each column's interesting outputs are latency, QPS, the
+// wasted-prefetch ratio the speculation pays, and how much of the run
+// overlaps device and CPU time (the overlap a pipeline exists to create).
+func runPipeline(ctx context.Context, b *Bench, w io.Writer) error {
+	ds, err := b.DatasetContext(ctx, "cohere-large")
+	if err != nil {
+		return err
+	}
+	neutral := vdb.Traits{Name: "neutral", PerQueryCPU: 30 * time.Microsecond}
+
+	// SPANN built raw over the dataset: its probe order is known after
+	// navigation, so look-ahead overlaps posting j+1's contiguous read with
+	// posting j's scan — the favourable case.
+	sp, err := spann.Build(ds.Vectors, nil, spann.Config{Metric: ds.Spec.Metric, Seed: 1})
+	if err != nil {
+		return err
+	}
+	var page int64
+	sp.AssignPages(func(n int64) int64 { p := page; page += n; return p })
+	nprobe := tuneUp("pipeline-spann-nprobe", 1, sp.Postings(), func(v int) float64 {
+		_, r := recordRawSample(ds, sp, index.SearchOptions{NProbe: v}, 100)
+		return r
+	})
+	// The pipeline needs a probe sequence to overlap: floor nprobe at 8 (or
+	// every posting on very small builds) so the sweep exercises look-ahead
+	// even when one probe already reaches the recall target. Raising nprobe
+	// only raises recall, and the comparison down each look-ahead column is
+	// at one fixed nprobe either way.
+	if nprobe < 8 {
+		nprobe = 8
+		if nprobe > sp.Postings() {
+			nprobe = sp.Postings()
+		}
+	}
+	spOpts := index.SearchOptions{NProbe: nprobe}
+
+	// DiskANN over the monolithic Milvus stack at its tuned search_list:
+	// the adversarial case, where the frontier shifts between hops and
+	// speculation can be wasted.
+	mono := vdb.Milvus()
+	mono.Name = "milvus-monolithic"
+	mono.SegmentCapacity = 0
+	st, err := b.StackContext(ctx, "cohere-large", vdb.Setup{Engine: mono, Index: vdb.IndexDiskANN})
+	if err != nil {
+		return err
+	}
+
+	pts := pipelinePoints()
+	type cellOut struct {
+		recall float64
+		pf     index.Stats
+		m      Metrics
+	}
+	spOuts := make([]cellOut, len(pts))
+	daOuts := make([]cellOut, len(pts))
+	cells := make([]cell, 0, 2*len(pts))
+	for i, p := range pts {
+		i, p := i, p
+		cfg := RunConfig{Threads: p.threads, CoalesceReads: p.la > 0, LookAhead: p.la}
+		cells = append(cells, cell{
+			key: fmt.Sprintf("cohere-large/pipeline/spann-la%d-t%d", p.la, p.threads),
+			run: func(ctx context.Context) error {
+				execs, recall := recordRaw(ds, sp, spOpts.With(index.WithLookAhead(p.la)))
+				out, err := RunContext(ctx, execs, neutral, b.mergeDefaults(cfg))
+				spOuts[i] = cellOut{recall: recall, pf: prefetchTotals(execs), m: out.Metrics}
+				return err
+			},
+		})
+		cells = append(cells, cell{
+			key: fmt.Sprintf("cohere-large/pipeline/diskann-la%d-t%d", p.la, p.threads),
+			run: func(ctx context.Context) error {
+				opts := st.Opts.With(index.WithLookAhead(p.la))
+				execs := st.ExecsFor(opts)
+				out, err := b.RunCellContext(ctx, st, execs, cfg,
+					fmt.Sprintf("pipeline-la%d", p.la))
+				daOuts[i] = cellOut{recall: st.RecallFor(opts), pf: prefetchTotals(execs), m: out.Metrics}
+				return err
+			},
+		})
+	}
+	if err := b.runGrid(ctx, cells); err != nil {
+		return err
+	}
+
+	tw := table(w, "index", "look-ahead", "threads", "recall@10", "dev reads/query", "wasted pf", "QPS", "mean (µs)", "P99 (µs)", "overlap", "mean QD")
+	emit := func(name string, outs []cellOut) {
+		for i, p := range pts {
+			o := outs[i]
+			readsPerQ := 0.0
+			if o.m.Served > 0 {
+				readsPerQ = float64(o.m.ReadOps) / float64(o.m.Served)
+			}
+			row(tw, name,
+				fmt.Sprintf("%d", p.la),
+				fmt.Sprintf("%d", p.threads),
+				fmt.Sprintf("%.3f", o.recall),
+				fmt.Sprintf("%.1f", readsPerQ),
+				fmt.Sprintf("%.1f%%", 100*o.pf.WastedPrefetchRatio()),
+				fmt.Sprintf("%.1f", o.m.QPS),
+				fmtDur(o.m.MeanLatency),
+				fmtDur(o.m.P99),
+				fmt.Sprintf("%.1f%%", 100*o.m.OverlapFrac),
+				fmt.Sprintf("%.1f", o.m.MeanQueueDepth))
+		}
+	}
+	emit(fmt.Sprintf("SPANN (nprobe=%d)", spOpts.NProbe), spOuts)
+	emit(fmt.Sprintf("DiskANN (W=%d, L=%d)", st.Opts.BeamWidth, st.Opts.SearchList), daOuts)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\n(Look-ahead changes when pages are read, never what the search demands: recall and")
+	fmt.Fprintln(w, " demand I/O are constant down each column while prefetch overlaps the next read with")
+	fmt.Fprintln(w, " the current scan. Device reads/query grow with the wasted-speculation ratio — the")
+	fmt.Fprintln(w, " bandwidth the pipeline spends to shorten the critical path. SPANN's known probe")
+	fmt.Fprintln(w, " order pipelines cleanly; DiskANN's shifting frontier wastes part of its speculation.)")
+	return nil
+}

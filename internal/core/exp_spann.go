@@ -106,7 +106,7 @@ func recordRaw(ds *dataset.Dataset, ix index.Index, opts index.SearchOptions) ([
 		o := opts
 		o.Recorder = &prof
 		res := ix.Search(ds.Queries.Row(qi), PaperK, o)
-		execs[qi] = vdb.QueryExec{Segments: [][]index.Step{prof.Steps}, IDs: res.IDs}
+		execs[qi] = vdb.QueryExec{Segments: [][]index.Step{prof.Steps}, IDs: res.IDs, Stats: res.Stats}
 		ids[qi] = res.IDs
 	}
 	return execs, dataset.MeanRecallAtK(ids, ds.GroundTruth, PaperK)

@@ -69,6 +69,7 @@ func Experiments() []Experiment {
 		{ID: "extC", Paper: "Extension C", Title: "Design ablations: beam width 1, monolithic Milvus", run: runExtC},
 		{ID: "extD", Paper: "Extension D", Title: "Storage-index shoot-out: DiskANN vs SPANN-style clusters", run: runExtD},
 		{ID: "cache", Paper: "Extension E", Title: "Node-cache sweep: hit rate, device reads, and latency vs capacity and policy", run: runCache},
+		{ID: "pipeline", Paper: "Extension F", Title: "Async pipeline: look-ahead prefetch and coalesced submission vs the synchronous baseline", run: runPipeline},
 	}
 }
 

@@ -99,6 +99,17 @@ type Metrics struct {
 	// Both stay zero when no node cache is configured.
 	CacheHits    int64
 	CacheHitRate float64
+	// MeanQueueDepth and MaxQueueDepth describe the device's outstanding
+	// request count over the run: the time-weighted mean and the peak.
+	MeanQueueDepth float64
+	MaxQueueDepth  int
+	// DeviceBusyFrac, CPUBusyFrac and OverlapFrac are the fractions of the
+	// measurement window the device had requests outstanding, the CPU had a
+	// burst on a core, and both at once — the overlap a pipelined search
+	// exists to create (≈0 for a synchronous beam search).
+	DeviceBusyFrac float64
+	CPUBusyFrac    float64
+	OverlapFrac    float64
 	// Served counts completed queries; Failed counts rejected ones
 	// (e.g. out of memory).
 	Served int64
@@ -140,6 +151,13 @@ func AggregateRuns(reps []Metrics) Metrics {
 		out.Frac4KiB += r.Frac4KiB / float64(len(reps))
 		out.MeanReadBytes += r.MeanReadBytes / float64(len(reps))
 		out.CacheHitRate += r.CacheHitRate / float64(len(reps))
+		out.MeanQueueDepth += r.MeanQueueDepth / float64(len(reps))
+		out.DeviceBusyFrac += r.DeviceBusyFrac / float64(len(reps))
+		out.CPUBusyFrac += r.CPUBusyFrac / float64(len(reps))
+		out.OverlapFrac += r.OverlapFrac / float64(len(reps))
+		if r.MaxQueueDepth > out.MaxQueueDepth {
+			out.MaxQueueDepth = r.MaxQueueDepth
+		}
 		out.ReadOps += r.ReadOps
 		out.CacheHits += r.CacheHits
 		out.Served += r.Served

@@ -45,6 +45,13 @@ func WithMaxReadConcurrent(n int) RunOption {
 	return func(c *RunConfig) { c.MaxReadConcurrent = n }
 }
 
+// WithCoalesceReads routes the engine's device reads through a request
+// coalescer (ssd.Batcher): reads outstanding across concurrent queries are
+// submitted in shared batches, amortising per-request submission CPU.
+func WithCoalesceReads(on bool) RunOption {
+	return func(c *RunConfig) { c.CoalesceReads = on }
+}
+
 // NewRunConfig builds a RunConfig from options layered over the standard
 // experiment defaults (see RunConfig.Defaults).
 func NewRunConfig(opts ...RunOption) RunConfig {

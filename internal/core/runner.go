@@ -46,6 +46,15 @@ type RunConfig struct {
 	// BeamWidth is recorded for reporting only (the recorded executions
 	// already embody it).
 	BeamWidth int
+	// CoalesceReads routes the engine's device reads through an ssd.Batcher:
+	// requests outstanding across concurrent queries at the same instant are
+	// submitted in shared batches of up to the device queue depth, paying
+	// SubmitCPU once per batch plus BatchSubmitCPU per extra request. Service
+	// order is unchanged, so the same bytes are read either way.
+	CoalesceReads bool
+	// LookAhead is recorded for reporting only (the recorded executions
+	// already embody the prefetch schedule).
+	LookAhead int
 }
 
 // Defaults fills zero fields with the standard experiment configuration.
@@ -151,7 +160,11 @@ func runOnce(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig, seed int64
 	tr := trace.NewTracer(false)
 	tr.SetBucket(bucket)
 	dev.Attach(tr)
+	cpu.SetBusyNotify(tr.SetCPUBusy)
 	eng := vdb.NewEngine(k, cpu, dev, traits)
+	if cfg.CoalesceReads {
+		eng.SetBatcher(ssd.NewBatcher(dev))
+	}
 
 	deadline := sim.Time(cfg.Duration)
 	var latencies []sim.Duration
@@ -189,6 +202,7 @@ func runOnce(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig, seed int64
 	}
 	busyStart := cpu.BusyTime()
 	endTime := k.RunAll() // lets in-flight queries drain past the horizon
+	tr.FinishAt(endTime)  // close the queue-depth/overlap integration
 	busyEnd := cpu.BusyTime()
 	window := cfg.Duration
 	if d := endTime.Sub(0); d > window {
@@ -219,6 +233,11 @@ func runOnce(execs []vdb.QueryExec, traits vdb.Traits, cfg RunConfig, seed int64
 	m.ReadOps = sum.ReadOps
 	m.CacheHits = sum.CacheHits
 	m.CacheHitRate = sum.CacheHitRate
+	m.MeanQueueDepth = sum.MeanQueueDepth
+	m.MaxQueueDepth = sum.MaxQueueDepth
+	m.DeviceBusyFrac = sum.DeviceBusyFrac
+	m.CPUBusyFrac = sum.CPUBusyFrac
+	m.OverlapFrac = sum.OverlapFrac
 	if served > 0 {
 		m.BytesPerQuery = float64(sum.ReadBytes) / float64(served)
 	}

@@ -74,7 +74,7 @@ func tuneRecall(st *Stack, opts index.SearchOptions) float64 {
 	}
 	results := make([][]int32, n)
 	for qi := 0; qi < n; qi++ {
-		results[qi] = st.Col.SearchDirect(ds.Queries.Row(qi), PaperK, opts, false).IDs
+		results[qi] = st.Col.Search(ds.Queries.Row(qi), PaperK, opts).IDs
 	}
 	return dataset.MeanRecallAtK(results, ds.GroundTruth[:n], PaperK)
 }

@@ -15,6 +15,7 @@
 package diskann
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -497,6 +498,14 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	rec := opts.Recorder
 	stats := index.Stats{}
 	cache := ix.nodeCacheFor(opts)
+	la := opts.LookAhead
+	// inFlight tracks nodes whose pages a prior hop speculatively issued and
+	// no hop has demanded yet; a later demand joins the in-flight read at
+	// replay instead of issuing a duplicate.
+	var inFlight map[int32]bool
+	if la > 0 {
+		inFlight = map[int32]bool{}
+	}
 
 	qs := ix.scorer.Query(q)
 	table := ix.quantizer.BuildTable(q)
@@ -560,6 +569,13 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 				cachedPages += ix.pagesPerNode
 				continue
 			}
+			if inFlight[id] {
+				// A look-ahead already issued this node's pages; the demand
+				// read joins it at replay. Pages still count in PagesRead —
+				// demand accounting is invariant under look-ahead.
+				stats.PrefetchUsed += ix.pagesPerNode
+				delete(inFlight, id)
+			}
 			pages = append(pages, ix.nodePages(id)...)
 		}
 		stats.PagesRead += len(pages)
@@ -568,6 +584,27 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		if cachedPages > 0 {
 			rec.AddCPU(cache.HitCost(cachedPages))
 			rec.AddCacheHit(cachedPages)
+		}
+		// Look-ahead: speculatively issue the pages of the next la unvisited
+		// candidates beyond the beam alongside this hop's demand I/O. The
+		// scan only peeks (Contains, not Touch) and charges no CPU, so the
+		// recorded demand execution stays byte-identical to LookAhead==0.
+		if la > 0 {
+			picked := 0
+			for i := beam[len(beam)-1] + 1; i < len(cands) && picked < la; i++ {
+				id := cands[i].id
+				if cands[i].visited || inFlight[id] {
+					continue
+				}
+				if cache != nil && cache.Contains(id) {
+					continue
+				}
+				inFlight[id] = true
+				pf := ix.nodePages(id)
+				stats.PrefetchPages += len(pf)
+				rec.AddPrefetch(index.PrefetchRun{Pages: pf})
+				picked++
+			}
 		}
 		rec.AddIO(pages)
 		// Expand each fetched node: exact re-rank plus PQ-scored
@@ -599,5 +636,15 @@ func (ix *Index) extID(row int32) int32 {
 	return row
 }
 
+// SearchBatch implements index.Searcher over the shared batch driver: every
+// query runs the same beam search as Search, with per-query recorders
+// resolved through opts.RecorderFor.
+func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, opts index.SearchOptions) []index.Result {
+	return index.BatchRun(ctx, len(queries), opts, func(qi int, o index.SearchOptions) index.Result {
+		return ix.Search(queries[qi], k, o)
+	})
+}
+
 var _ index.Index = (*Index)(nil)
+var _ index.Searcher = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

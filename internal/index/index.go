@@ -46,8 +46,27 @@ type SearchOptions struct {
 	// num_nodes_to_cache) or NodeCacheLRU (dynamic, the default when
 	// empty). Ignored while NodeCacheNodes is zero.
 	NodeCachePolicy string
+	// LookAhead is the pipeline depth of the storage-based searches: the
+	// number of top unexpanded candidates whose pages are speculatively
+	// prefetched while the current hop's distances are scored (LAANN-style
+	// look-ahead). Zero disables prefetching. Look-ahead changes *when*
+	// pages are read, never *what* the candidate list contains: results and
+	// demand I/O stay byte-identical to the synchronous search at any depth,
+	// with speculative reads recorded separately (Step.Prefetch) and
+	// accounted in Stats.PrefetchPages/PrefetchUsed.
+	LookAhead int
+	// QueryConcurrency bounds how many queries of one SearchBatch run
+	// concurrently on host goroutines (0 means the default of 8). Batches
+	// against a mutable node cache always run sequentially in query order
+	// regardless, so recorded executions stay deterministic.
+	QueryConcurrency int
 	// Recorder, when non-nil, receives the query's execution profile.
 	Recorder *Profile
+	// RecorderFor, when non-nil, supplies a per-query profile recorder for
+	// batch searches: SearchBatch resolves Recorder for query qi as
+	// RecorderFor(qi), letting one option set record a whole batch. It
+	// overrides Recorder inside SearchBatch and is ignored by Search.
+	RecorderFor func(qi int) *Profile
 }
 
 // Node-cache policy names understood by the storage-based indexes; they
@@ -90,6 +109,14 @@ type Stats struct {
 	// CachePages is the number of pages served by the node cache instead
 	// of storage; PagesRead+CachePages is invariant under caching.
 	CachePages int
+	// PrefetchPages counts pages issued speculatively by look-ahead;
+	// PrefetchUsed counts the subset a later hop actually demanded.
+	// PrefetchPages−PrefetchUsed is the wasted prefetch volume. Both are
+	// zero when LookAhead is zero. Demand accounting (PagesRead,
+	// CachePages) is unaffected: a prefetched-then-demanded page still
+	// counts in PagesRead, it just completes earlier at replay.
+	PrefetchPages int
+	PrefetchUsed  int
 }
 
 // Add accumulates other into s.
@@ -99,6 +126,17 @@ func (s *Stats) Add(other Stats) {
 	s.Hops += other.Hops
 	s.PagesRead += other.PagesRead
 	s.CachePages += other.CachePages
+	s.PrefetchPages += other.PrefetchPages
+	s.PrefetchUsed += other.PrefetchUsed
+}
+
+// WastedPrefetchRatio is the fraction of speculatively read pages no hop
+// ever demanded (0 when look-ahead was off).
+func (s Stats) WastedPrefetchRatio() float64 {
+	if s.PrefetchPages == 0 {
+		return 0
+	}
+	return float64(s.PrefetchPages-s.PrefetchUsed) / float64(s.PrefetchPages)
 }
 
 // Index is a built vector index ready to answer k-NN queries.
@@ -185,6 +223,23 @@ type Step struct {
 	// engine reports them to the tracer so hit rates appear in run
 	// metrics without any device traffic.
 	CachePages int
+	// Prefetch lists the speculative reads look-ahead issued alongside
+	// this step's demand I/O. The replay engine launches them
+	// asynchronously — they complete in the background while later steps
+	// burn CPU — and later demand pages matching an in-flight prefetch
+	// join its completion instead of issuing a duplicate read. A step's
+	// demand Pages always lists everything the search needed (prefetched
+	// or not), so replaying with Prefetch stripped yields exactly the
+	// synchronous execution.
+	Prefetch []PrefetchRun
+}
+
+// PrefetchRun is one speculative read batch: the pages of one look-ahead
+// candidate (a graph node's pages, issued as parallel 4 KiB reads) or one
+// posting list (a single contiguous multi-page read).
+type PrefetchRun struct {
+	Pages      []int64
+	Contiguous bool
 }
 
 // Profile is the recorded execution of one query against one index: the
@@ -196,6 +251,8 @@ type Profile struct {
 	pending time.Duration
 	// pendingCache accumulates node-cache page hits not yet flushed.
 	pendingCache int
+	// pendingPrefetch accumulates speculative reads not yet flushed.
+	pendingPrefetch []PrefetchRun
 }
 
 // AddCPU accumulates compute time into the current (unflushed) step.
@@ -215,6 +272,31 @@ func (p *Profile) AddCacheHit(pages int) {
 	p.pendingCache += pages
 }
 
+// AddPrefetch accumulates one speculative read batch into the current
+// (unflushed) step; the pages are copied. Look-ahead charges no extra
+// record-time CPU — selecting prefetch targets rides on work the search
+// already does — which keeps CPU bursts byte-identical to the synchronous
+// profile.
+func (p *Profile) AddPrefetch(run PrefetchRun) {
+	if p == nil || len(run.Pages) == 0 {
+		return
+	}
+	cp := make([]int64, len(run.Pages))
+	copy(cp, run.Pages)
+	p.pendingPrefetch = append(p.pendingPrefetch, PrefetchRun{Pages: cp, Contiguous: run.Contiguous})
+}
+
+// flushStep appends one step carrying everything pending.
+func (p *Profile) flushStep(s Step) {
+	s.CPU = p.pending
+	s.CachePages = p.pendingCache
+	s.Prefetch = p.pendingPrefetch
+	p.Steps = append(p.Steps, s)
+	p.pending = 0
+	p.pendingCache = 0
+	p.pendingPrefetch = nil
+}
+
 // AddIO flushes the pending compute plus the given parallel page batch as
 // one step.
 func (p *Profile) AddIO(pages []int64) {
@@ -223,9 +305,7 @@ func (p *Profile) AddIO(pages []int64) {
 	}
 	cp := make([]int64, len(pages))
 	copy(cp, pages)
-	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, CachePages: p.pendingCache})
-	p.pending = 0
-	p.pendingCache = 0
+	p.flushStep(Step{Pages: cp})
 }
 
 // AddContiguousIO flushes the pending compute plus one sequential
@@ -236,21 +316,17 @@ func (p *Profile) AddContiguousIO(pages []int64) {
 	}
 	cp := make([]int64, len(pages))
 	copy(cp, pages)
-	p.Steps = append(p.Steps, Step{CPU: p.pending, Pages: cp, Contiguous: true, CachePages: p.pendingCache})
-	p.pending = 0
-	p.pendingCache = 0
+	p.flushStep(Step{Pages: cp, Contiguous: true})
 }
 
-// Flush closes the profile, emitting any pending compute or cache hits as a
-// final step.
+// Flush closes the profile, emitting any pending compute, cache hits or
+// prefetches as a final step.
 func (p *Profile) Flush() {
 	if p == nil {
 		return
 	}
-	if p.pending > 0 || p.pendingCache > 0 {
-		p.Steps = append(p.Steps, Step{CPU: p.pending, CachePages: p.pendingCache})
-		p.pending = 0
-		p.pendingCache = 0
+	if p.pending > 0 || p.pendingCache > 0 || len(p.pendingPrefetch) > 0 {
+		p.flushStep(Step{})
 	}
 }
 

@@ -35,6 +35,19 @@ func WithNodeCachePolicy(policy string) SearchOption {
 	return func(o *SearchOptions) { o.NodeCachePolicy = policy }
 }
 
+// WithLookAhead sets the pipeline depth of the storage-based searches: the
+// number of top unexpanded candidates whose pages are speculatively
+// prefetched while the current hop's distances are scored. Zero (the
+// default) disables prefetching. Results and demand I/O stay byte-identical
+// to the synchronous search at any depth.
+func WithLookAhead(n int) SearchOption { return func(o *SearchOptions) { o.LookAhead = n } }
+
+// WithQueryConcurrency bounds how many queries of one SearchBatch run
+// concurrently (0 means the default of index.DefaultQueryConcurrency).
+func WithQueryConcurrency(n int) SearchOption {
+	return func(o *SearchOptions) { o.QueryConcurrency = n }
+}
+
 // WithFilter restricts results to ids for which f returns true (nil clears
 // the filter).
 func WithFilter(f func(id int32) bool) SearchOption {

@@ -19,6 +19,7 @@
 package spann
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -306,10 +307,37 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 
 	qs := ix.scorer.Query(q)
 	var heap index.MaxHeap
+	// Look-ahead: the probe order is fully known after navigation, so the
+	// search can issue posting j+1..j+la's contiguous reads alongside probe
+	// j's demand read — they complete in the background while probe j's
+	// vectors are scanned. nextPF tracks the first posting not yet
+	// considered for prefetch; selection only peeks at the cache (Contains)
+	// and charges no CPU, keeping the demand execution byte-identical to
+	// LookAhead==0.
+	la := opts.LookAhead
+	var inFlight map[int32]bool
+	nextPF := 1
+	if la > 0 {
+		inFlight = map[int32]bool{}
+	}
 	// Replication surfaces the same row through several postings; score
 	// each row once so copies cannot crowd distinct ids out of the top-k.
 	scored := make(map[int32]bool, nprobe*ix.cfg.PostingSize)
-	for _, c := range nav.IDs {
+	for j, c := range nav.IDs {
+		if la > 0 {
+			for ; nextPF < len(nav.IDs) && nextPF <= j+la; nextPF++ {
+				pc := nav.IDs[nextPF]
+				if ix.pages == nil || len(ix.pages[pc]) == 0 || inFlight[pc] {
+					continue
+				}
+				if cache != nil && cache.Contains(pc) {
+					continue
+				}
+				inFlight[pc] = true
+				stats.PrefetchPages += len(ix.pages[pc])
+				rec.AddPrefetch(index.PrefetchRun{Pages: ix.pages[pc], Contiguous: true})
+			}
+		}
 		list := ix.postings[c]
 		if ix.pages != nil && len(ix.pages[c]) > 0 {
 			if cache != nil && cache.Touch(c, len(ix.pages[c])) {
@@ -319,6 +347,13 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 				rec.AddCPU(cache.HitCost(len(ix.pages[c])))
 				rec.AddCacheHit(len(ix.pages[c]))
 			} else {
+				if inFlight[c] {
+					// A look-ahead already issued this posting's read;
+					// the demand joins it at replay. Demand accounting
+					// is invariant under look-ahead.
+					stats.PrefetchUsed += len(ix.pages[c])
+					delete(inFlight, c)
+				}
 				// One posting probe = one contiguous multi-page read.
 				rec.AddContiguousIO(ix.pages[c])
 				stats.PagesRead += len(ix.pages[c])
@@ -350,5 +385,15 @@ func (ix *Index) extID(row int32) int32 {
 	return row
 }
 
+// SearchBatch implements index.Searcher over the shared batch driver: every
+// query runs the same probe sequence as Search, with per-query recorders
+// resolved through opts.RecorderFor.
+func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, opts index.SearchOptions) []index.Result {
+	return index.BatchRun(ctx, len(queries), opts, func(qi int, o index.SearchOptions) index.Result {
+		return ix.Search(queries[qi], k, o)
+	})
+}
+
 var _ index.Index = (*Index)(nil)
+var _ index.Searcher = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

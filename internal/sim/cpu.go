@@ -13,6 +13,9 @@ type CPU struct {
 	sem   *Semaphore
 	cores int
 	busy  Duration // cumulative core-busy virtual time
+
+	inUse  int                      // bursts currently holding cores
+	notify func(at Time, busy bool) // idle↔busy transition hook
 }
 
 // NewCPU creates a CPU with the given number of cores.
@@ -23,6 +26,29 @@ func NewCPU(k *Kernel, cores int) *CPU {
 // Cores returns the number of cores.
 func (c *CPU) Cores() int { return c.cores }
 
+// SetBusyNotify installs a hook called on every idle↔busy transition: fn is
+// invoked with busy=true when the first burst starts executing on a core and
+// busy=false when the last one finishes. The tracer uses it to measure how
+// much of a run the CPU and the device overlap. Pass nil to detach.
+func (c *CPU) SetBusyNotify(fn func(at Time, busy bool)) { c.notify = fn }
+
+// burstStart marks one burst holding a core, firing the busy hook on the
+// idle→busy edge.
+func (c *CPU) burstStart(at Time) {
+	c.inUse++
+	if c.inUse == 1 && c.notify != nil {
+		c.notify(at, true)
+	}
+}
+
+// burstEnd marks one burst done, firing the busy hook on the busy→idle edge.
+func (c *CPU) burstEnd(at Time) {
+	c.inUse--
+	if c.inUse == 0 && c.notify != nil {
+		c.notify(at, false)
+	}
+}
+
 // Use occupies one core for d of virtual time, queueing if all cores are
 // busy. Zero and negative durations are no-ops.
 func (c *CPU) Use(e *Env, d Duration) {
@@ -30,7 +56,9 @@ func (c *CPU) Use(e *Env, d Duration) {
 		return
 	}
 	c.sem.Acquire(e, 1)
+	c.burstStart(e.Now())
 	e.Sleep(d)
+	c.burstEnd(e.Now())
 	c.sem.Release(1)
 	c.busy += d
 }
@@ -45,7 +73,9 @@ func (c *CPU) UseN(e *Env, n int, d Duration) {
 		n = c.cores
 	}
 	c.sem.Acquire(e, int64(n))
+	c.burstStart(e.Now())
 	e.Sleep(d)
+	c.burstEnd(e.Now())
 	c.sem.Release(int64(n))
 	c.busy += Duration(n) * d
 }

@@ -1,0 +1,43 @@
+package sim
+
+// Event is a one-shot completion signal between simulated processes: one
+// process fires it exactly once, any number of processes wait for it. Waiting
+// on an already-fired event returns immediately, which is what makes it the
+// join primitive for speculative work — a prefetch read fires its event when
+// the device completes it, and the demand path that later needs the same
+// pages waits on the event instead of issuing a duplicate read (a no-op when
+// the prefetch already landed).
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []*proc
+}
+
+// NewEvent creates an unfired event bound to the kernel.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event complete and wakes every waiter at the current
+// virtual time. Firing twice panics: an event models one completion.
+func (ev *Event) Fire() {
+	if ev.fired {
+		panic("sim: Event fired twice")
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.k.unpark(p)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the calling process until the event fires (returning
+// immediately if it already has).
+func (ev *Event) Wait(e *Env) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, e.p)
+	e.parkNoEvent()
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventWaitBlocksUntilFire(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var woke Time
+	k.Spawn("waiter", func(e *Env) {
+		ev.Wait(e)
+		woke = e.Now()
+	})
+	k.Spawn("firer", func(e *Env) {
+		e.Sleep(2 * time.Millisecond)
+		ev.Fire()
+	})
+	k.RunAll()
+	if woke != Time(2*time.Millisecond) {
+		t.Errorf("waiter woke at %v, want 2ms", woke)
+	}
+	if !ev.Fired() {
+		t.Error("event not marked fired")
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	var woke Time
+	k.Spawn("firer", func(e *Env) { ev.Fire() })
+	k.Spawn("late-waiter", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		before := e.Now()
+		ev.Wait(e)
+		woke = e.Now()
+		if woke != before {
+			t.Errorf("wait on fired event advanced time %v → %v", before, woke)
+		}
+	})
+	k.RunAll()
+	if woke != Time(time.Millisecond) {
+		t.Errorf("late waiter finished at %v, want 1ms", woke)
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	woke := make([]Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("waiter", func(e *Env) {
+			ev.Wait(e)
+			woke[i] = e.Now()
+		})
+	}
+	k.Spawn("firer", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		ev.Fire()
+	})
+	k.RunAll()
+	for i, at := range woke {
+		if at != Time(time.Millisecond) {
+			t.Errorf("waiter %d woke at %v, want 1ms", i, at)
+		}
+	}
+}
+
+func TestEventDoubleFirePanics(t *testing.T) {
+	k := NewKernel()
+	ev := NewEvent(k)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Fire did not panic")
+		}
+	}()
+	ev.Fire()
+	ev.Fire()
+}
+
+// TestCPUBusyNotifyEdges: the hook fires only on idle↔busy transitions, not
+// on every Use — two overlapping bursts report one busy span.
+func TestCPUBusyNotifyEdges(t *testing.T) {
+	type edge struct {
+		at   Time
+		busy bool
+	}
+	k := NewKernel()
+	cpu := NewCPU(k, 4)
+	var edges []edge
+	cpu.SetBusyNotify(func(at Time, busy bool) {
+		edges = append(edges, edge{at, busy})
+	})
+	// Two bursts overlapping in [0, 3ms): one busy edge at 0, one idle edge
+	// at 3ms, no chatter in between.
+	k.Spawn("a", func(e *Env) { cpu.Use(e, 2*time.Millisecond) })
+	k.Spawn("b", func(e *Env) {
+		e.Sleep(time.Millisecond)
+		cpu.Use(e, 2*time.Millisecond)
+	})
+	k.RunAll()
+	want := []edge{{0, true}, {Time(3 * time.Millisecond), false}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d busy edges %v, want %v", len(edges), edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+}

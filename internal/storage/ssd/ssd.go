@@ -44,6 +44,12 @@ type Config struct {
 	// SubmitCPU is the host CPU time consumed to submit and complete one
 	// request through the kernel storage stack.
 	SubmitCPU sim.Duration
+	// BatchSubmitCPU is the marginal host CPU cost of each additional
+	// request submitted in one coalesced batch (see Batcher): the first
+	// request of a batch pays the full SubmitCPU (syscall + doorbell), the
+	// rest only the per-SQE marginal cost. Zero means extra batched
+	// submissions are free.
+	BatchSubmitCPU sim.Duration
 	// WriteBusPenalty scales the bus occupancy of writes, modelling
 	// NAND read/write interference (Sec. VIII): a penalty of 3 means one
 	// written byte occupies the bus as long as three read bytes.
@@ -61,6 +67,7 @@ func DefaultConfig() Config {
 		Slots:           64,
 		BandwidthBps:    7.2 * (1 << 30),
 		SubmitCPU:       3083 * time.Nanosecond,
+		BatchSubmitCPU:  385 * time.Nanosecond,
 		WriteBusPenalty: 3,
 	}
 }
@@ -75,9 +82,10 @@ type Device struct {
 	busFree sim.Time
 	tracer  *trace.Tracer
 
-	nextPage int64 // bump allocator for page addresses
-	reads    int64
-	writes   int64
+	nextPage    int64 // bump allocator for page addresses
+	reads       int64
+	writes      int64
+	outstanding int // requests submitted and not yet completed
 }
 
 // New creates a device. cpu may be nil to model free submission.
@@ -147,7 +155,8 @@ func (d *Device) ReadPages(e *sim.Env, pages []int64) {
 	g.Wait(e)
 }
 
-// request is the shared service path.
+// request is the shared single-request path: per-request submission CPU,
+// then the device-side service.
 func (d *Device) request(e *sim.Env, op trace.Op, bytes int) {
 	if bytes <= 0 {
 		panic("ssd: request of non-positive size")
@@ -156,9 +165,22 @@ func (d *Device) request(e *sim.Env, op trace.Op, bytes int) {
 	if d.cpu != nil && d.cfg.SubmitCPU > 0 {
 		d.cpu.Use(e, d.cfg.SubmitCPU)
 	}
+	d.service(e, op, bytes)
+}
+
+// service is the device-side portion of one request — trace emission, queue
+// depth accounting, internal-unit and bus contention, base latency — without
+// any submission CPU. The Batcher charges one amortised submission cost for
+// a whole coalesced batch and routes each request through here.
+func (d *Device) service(e *sim.Env, op trace.Op, bytes int) {
+	if bytes <= 0 {
+		panic("ssd: request of non-positive size")
+	}
 	if d.tracer != nil {
 		d.tracer.Emit(e.Now(), op, bytes)
 	}
+	d.outstanding++
+	d.tracer.NoteDepth(e.Now(), d.outstanding)
 	// Device-side service: wait for a free internal unit.
 	d.slots.Acquire(e, 1)
 	// Reserve the shared bus for the transfer.
@@ -178,7 +200,12 @@ func (d *Device) request(e *sim.Env, op trace.Op, bytes int) {
 	completion := done.Add(base)
 	e.SleepUntil(completion)
 	d.slots.Release(1)
+	d.outstanding--
+	d.tracer.NoteDepth(e.Now(), d.outstanding)
 }
+
+// QueueDepth returns the number of requests submitted and not yet completed.
+func (d *Device) QueueDepth() int { return d.outstanding }
 
 // Stats reports the number of read and write requests serviced.
 func (d *Device) Stats() (reads, writes int64) { return d.reads, d.writes }

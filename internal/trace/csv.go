@@ -12,7 +12,8 @@ import (
 
 // WriteCSV streams raw records as "ns,op,bytes" lines, the interchange
 // format between the harness and cmd/iostat (the role of the paper's
-// bpftrace output files).
+// bpftrace output files). Ops are R (read), W (write) and C (node-cache
+// hit: a logical read the cache served without a device request).
 func WriteCSV(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "ns,op,bytes"); err != nil {
@@ -55,6 +56,8 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 			op = Read
 		case "W":
 			op = Write
+		case "C":
+			op = CacheHit
 		default:
 			return nil, fmt.Errorf("trace: line %d: bad op %q", line, parts[1])
 		}
@@ -74,6 +77,13 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 func Replay(records []Record) *Tracer {
 	t := NewTracer(false)
 	for _, r := range records {
+		if r.Op == CacheHit {
+			// One record per hit batch; page count is bytes/4KiB rounded
+			// up so totals survive a round trip through CSV.
+			pages := (r.Bytes + 4095) / 4096
+			t.EmitCacheHit(r.At, pages, r.Bytes)
+			continue
+		}
 		t.Emit(r.At, r.Op, r.Bytes)
 	}
 	return t

@@ -24,13 +24,22 @@ type Op uint8
 const (
 	Read Op = iota
 	Write
+	// CacheHit is a logical read the node cache served without a device
+	// request. It appears in the timeline and raw records so plots can show
+	// total logical read traffic, but never in the request size histogram or
+	// the read/write totals — it is not a block request.
+	CacheHit
 )
 
 func (o Op) String() string {
-	if o == Read {
+	switch o {
+	case Read:
 		return "R"
+	case Write:
+		return "W"
+	default:
+		return "C"
 	}
-	return "W"
 }
 
 // Record is one block-layer request at issue time.
@@ -51,6 +60,7 @@ type Tracer struct {
 	bucket    sim.Duration // bucket width for the bandwidth timeline
 	readBkt   map[int64]int64
 	writeBkt  map[int64]int64
+	cacheBkt  map[int64]int64
 	sizeHist  map[int]int64
 	readOps   int64
 	writeOps  int64
@@ -61,6 +71,22 @@ type Tracer struct {
 	first     sim.Time
 	last      sim.Time
 	any       bool
+
+	// Queue-depth and busy-overlap accounting. The device reports every
+	// outstanding-request count change through NoteDepth and the CPU its
+	// idle↔busy edges through SetCPUBusy; the tracer integrates both over
+	// virtual time so Summarize can report mean/max queue depth and how much
+	// of the run the device and the CPU were busy — separately and together
+	// (the overlap a pipelined search exists to create).
+	overlapAt   sim.Time
+	depth       int
+	depthInt    float64 // ∫ depth dt, in depth·nanoseconds
+	maxDepth    int
+	cpuBusy     bool
+	devBusy     bool
+	cpuBusyDur  sim.Duration
+	devBusyDur  sim.Duration
+	bothBusyDur sim.Duration
 }
 
 // NewTracer creates an active tracer with a per-second bandwidth timeline.
@@ -72,6 +98,7 @@ func NewTracer(keepRaw bool) *Tracer {
 		bucket:   time.Second,
 		readBkt:  make(map[int64]int64),
 		writeBkt: make(map[int64]int64),
+		cacheBkt: make(map[int64]int64),
 		sizeHist: make(map[int]int64),
 	}
 }
@@ -114,16 +141,81 @@ func (t *Tracer) Emit(at sim.Time, op Op, bytes int) {
 	}
 }
 
-// EmitCacheHit records pages a node cache served instead of the device.
-// Cache hits are not block requests: they do not touch the bandwidth
-// timeline, the size histogram, or the traced window — only the cache
-// counters reported by Summarize.
-func (t *Tracer) EmitCacheHit(pages, bytes int) {
+// EmitCacheHit records pages a node cache served instead of the device at
+// virtual time at. Cache hits are logical reads, not block requests: they
+// get their own timeline series (BucketPoint.CacheBytes) and raw-record op
+// (CacheHit), but stay out of the request size histogram and the read/write
+// totals so device-level statistics (Frac4KiB, IOPS) are unaffected.
+func (t *Tracer) EmitCacheHit(at sim.Time, pages, bytes int) {
 	if t == nil || !t.enabled {
 		return
 	}
 	t.cacheHits += int64(pages)
 	t.cacheByte += int64(bytes)
+	if !t.any || at < t.first {
+		t.first = at
+	}
+	if at > t.last {
+		t.last = at
+	}
+	t.any = true
+	t.cacheBkt[int64(at)/int64(t.bucket)] += int64(bytes)
+	if t.keepRaw {
+		t.records = append(t.records, Record{At: at, Op: CacheHit, Bytes: bytes})
+	}
+}
+
+// advance integrates the current busy/depth state up to virtual time at.
+func (t *Tracer) advance(at sim.Time) {
+	if at <= t.overlapAt {
+		return
+	}
+	dt := at.Sub(t.overlapAt)
+	t.overlapAt = at
+	t.depthInt += float64(t.depth) * float64(dt)
+	if t.cpuBusy {
+		t.cpuBusyDur += dt
+	}
+	if t.devBusy {
+		t.devBusyDur += dt
+	}
+	if t.cpuBusy && t.devBusy {
+		t.bothBusyDur += dt
+	}
+}
+
+// NoteDepth records the device's outstanding-request count changing to depth
+// at virtual time at. The device is considered busy whenever depth > 0.
+func (t *Tracer) NoteDepth(at sim.Time, depth int) {
+	if t == nil || !t.enabled {
+		return
+	}
+	t.advance(at)
+	t.depth = depth
+	t.devBusy = depth > 0
+	if depth > t.maxDepth {
+		t.maxDepth = depth
+	}
+}
+
+// SetCPUBusy records the CPU going busy or idle at virtual time at; wire it
+// to sim.CPU.SetBusyNotify.
+func (t *Tracer) SetCPUBusy(at sim.Time, busy bool) {
+	if t == nil || !t.enabled {
+		return
+	}
+	t.advance(at)
+	t.cpuBusy = busy
+}
+
+// FinishAt closes the busy/depth integration at the end of a run. Call it
+// once, after the simulation finishes and before Summarize, so the final
+// idle tail (or a still-busy edge) is accounted.
+func (t *Tracer) FinishAt(at sim.Time) {
+	if t == nil || !t.enabled {
+		return
+	}
+	t.advance(at)
 }
 
 // CacheTotals reports the node-cache pages and bytes absorbed so far.
@@ -139,11 +231,14 @@ func (t *Tracer) Totals() (readOps, writeOps, readBytes, writeBytes int64) {
 // Records returns the raw records (only populated when keepRaw was set).
 func (t *Tracer) Records() []Record { return t.records }
 
-// BucketPoint is one interval of the bandwidth timeline.
+// BucketPoint is one interval of the bandwidth timeline. CacheBytes counts
+// logical read bytes the node cache served in the interval — traffic that
+// never reached the device but that a plot of total read demand must show.
 type BucketPoint struct {
 	Start      sim.Time
 	ReadBytes  int64
 	WriteBytes int64
+	CacheBytes int64
 }
 
 // ReadMiBps returns the read bandwidth of the bucket in MiB/s given the
@@ -166,6 +261,7 @@ func (t *Tracer) Timeline() []BucketPoint {
 			Start:      sim.Time(b * int64(t.bucket)),
 			ReadBytes:  t.readBkt[b],
 			WriteBytes: t.writeBkt[b],
+			CacheBytes: t.cacheBkt[b],
 		})
 	}
 	return out
@@ -219,6 +315,17 @@ type Summary struct {
 	CacheHits    int64
 	CacheBytes   int64
 	CacheHitRate float64
+	// MeanQueueDepth and MaxQueueDepth describe the device's outstanding
+	// request count over the window (time-weighted mean; NVMe queue depth).
+	MeanQueueDepth float64
+	MaxQueueDepth  int
+	// DeviceBusyFrac, CPUBusyFrac and OverlapFrac are the fractions of the
+	// window the device had requests outstanding, the CPU had a burst on a
+	// core, and both at once. A synchronous beam search alternates the two
+	// (overlap ≈ 0); a pipelined one overlaps them.
+	DeviceBusyFrac float64
+	CPUBusyFrac    float64
+	OverlapFrac    float64
 }
 
 // Summarize computes throughput statistics over the given virtual window.
@@ -236,11 +343,16 @@ func (t *Tracer) Summarize(window sim.Duration) Summary {
 	if t.cacheByte+t.readByte > 0 {
 		s.CacheHitRate = float64(t.cacheByte) / float64(t.cacheByte+t.readByte)
 	}
+	s.MaxQueueDepth = t.maxDepth
 	if window > 0 {
 		secs := window.Seconds()
 		s.ReadMiBps = float64(t.readByte) / (1 << 20) / secs
 		s.WriteMiBps = float64(t.writeByte) / (1 << 20) / secs
 		s.ReadIOPS = float64(t.readOps) / secs
+		s.MeanQueueDepth = t.depthInt / float64(window)
+		s.DeviceBusyFrac = float64(t.devBusyDur) / float64(window)
+		s.CPUBusyFrac = float64(t.cpuBusyDur) / float64(window)
+		s.OverlapFrac = float64(t.bothBusyDur) / float64(window)
 	}
 	if t.readOps > 0 {
 		s.MeanReadBytes = float64(t.readByte) / float64(t.readOps)

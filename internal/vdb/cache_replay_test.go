@@ -142,7 +142,7 @@ func TestRecordQueriesStaticMatchesSequential(t *testing.T) {
 	parallel := col.RecordQueries(ds.Queries, 10, opts)
 	sequential := make([]QueryExec, ds.Queries.Len())
 	for qi := range sequential {
-		sequential[qi] = col.SearchDirect(ds.Queries.Row(qi), 10, opts, true)
+		sequential[qi] = col.Record(ds.Queries.Row(qi), 10, opts)
 	}
 	if !reflect.DeepEqual(parallel, sequential) {
 		t.Error("parallel static-cached recording differs from sequential")

@@ -1,6 +1,7 @@
 package vdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -245,89 +246,108 @@ func (c *Collection) liveFilter(user func(int32) bool) func(int32) bool {
 
 // QueryExec is the recorded execution of one query against this collection:
 // the per-segment step sequences the simulator replays, plus the merged
-// result ids for recall computation.
+// result ids for recall computation and the summed per-segment work counts.
 type QueryExec struct {
 	Segments [][]index.Step
 	IDs      []int32
+	Stats    index.Stats
 }
 
-// SearchDirect runs the real search (outside the simulation) and returns the
-// merged top-k result. When record is true the per-segment execution
-// profiles are captured into the returned QueryExec.
-func (c *Collection) SearchDirect(q []float32, k int, opts index.SearchOptions, record bool) QueryExec {
-	if len(c.segments) == 0 && len(c.growIDs) == 0 {
-		return QueryExec{}
+// runBatch is the collection's batch-first search core: every public search
+// entry point — Search, Record, SearchBatch, RecordQueries — routes through
+// it. The batch visits each unit (sealed segments in order, then the
+// brute-forced growing tail) once, running all queries against that unit via
+// index.SearchBatchOf, and merges per query in unit order, so each query's
+// result is byte-identical to searching the units sequentially for that
+// query alone. When record is true, per-(query, unit) profiles are captured
+// through SearchOptions.RecorderFor into the returned QueryExecs.
+func (c *Collection) runBatch(ctx context.Context, rows [][]float32, k int, opts index.SearchOptions, record bool) []QueryExec {
+	out := make([]QueryExec, len(rows))
+	if len(rows) == 0 || (len(c.segments) == 0 && len(c.growIDs) == 0) {
+		return out
 	}
 	opts.Filter = c.liveFilter(opts.Filter)
-	var merged index.MaxHeap
-	exec := QueryExec{}
-	if record {
-		exec.Segments = make([][]index.Step, 0, len(c.segments))
-	}
+
+	units := make([]index.Index, 0, len(c.segments)+1)
 	for _, s := range c.segments {
-		segOpts := opts
-		var prof index.Profile
-		if record {
-			segOpts.Recorder = &prof
-		}
-		res := s.Index.Search(q, k, segOpts)
-		for i := range res.IDs {
-			merged.PushBounded(index.Neighbor{ID: res.IDs[i], Dist: res.Dists[i]}, k)
-		}
-		if record {
-			exec.Segments = append(exec.Segments, prof.Steps)
-		}
+		units = append(units, s.Index)
 	}
-	// Brute-force the growing tail.
 	if len(c.growIDs) > 0 {
-		fx := flat.New(c.growData, c.metric, c.growIDs)
-		gOpts := opts
-		var prof index.Profile
-		if record {
-			gOpts.Recorder = &prof
-		}
-		res := fx.Search(q, k, gOpts)
-		for i := range res.IDs {
-			merged.PushBounded(index.Neighbor{ID: res.IDs[i], Dist: res.Dists[i]}, k)
-		}
-		if record {
-			exec.Segments = append(exec.Segments, prof.Steps)
+		units = append(units, flat.New(c.growData, c.metric, c.growIDs))
+	}
+
+	heaps := make([]index.MaxHeap, len(rows))
+	if record {
+		for qi := range out {
+			out[qi].Segments = make([][]index.Step, 0, len(units))
 		}
 	}
-	ns := merged.SortedAscending()
-	exec.IDs = make([]int32, len(ns))
-	for i, n := range ns {
-		exec.IDs[i] = n.ID
+	for _, unit := range units {
+		uOpts := opts
+		var profs []index.Profile
+		if record {
+			profs = make([]index.Profile, len(rows))
+			uOpts.RecorderFor = func(qi int) *index.Profile { return &profs[qi] }
+		}
+		results := index.SearchBatchOf(ctx, unit, rows, k, uOpts)
+		for qi, res := range results {
+			for i := range res.IDs {
+				heaps[qi].PushBounded(index.Neighbor{ID: res.IDs[i], Dist: res.Dists[i]}, k)
+			}
+			out[qi].Stats.Add(res.Stats)
+			if record {
+				out[qi].Segments = append(out[qi].Segments, profs[qi].Steps)
+			}
+		}
 	}
-	return exec
+	for qi := range out {
+		ns := heaps[qi].SortedAscending()
+		out[qi].IDs = make([]int32, len(ns))
+		for i, n := range ns {
+			out[qi].IDs[i] = n.ID
+		}
+	}
+	return out
+}
+
+// Search runs one real query (outside the simulation) and returns the merged
+// top-k result without capturing execution profiles. It replaces the old
+// SearchDirect(q, k, opts, false).
+func (c *Collection) Search(q []float32, k int, opts index.SearchOptions) QueryExec {
+	return c.runBatch(context.Background(), [][]float32{q}, k, opts, false)[0]
+}
+
+// Record runs one real query and captures its per-segment execution profiles
+// for replay. It replaces the old SearchDirect(q, k, opts, true).
+func (c *Collection) Record(q []float32, k int, opts index.SearchOptions) QueryExec {
+	return c.runBatch(context.Background(), [][]float32{q}, k, opts, true)[0]
+}
+
+// SearchBatch runs every query row through the batch-first core without
+// recording, up to opts.QueryConcurrency queries concurrently per unit. Each
+// query's result is byte-identical to Search on the same options; ctx
+// cancellation stops scheduling new queries (unstarted queries return zero
+// QueryExecs).
+func (c *Collection) SearchBatch(ctx context.Context, queries *vec.Matrix, k int, opts index.SearchOptions) []QueryExec {
+	return c.runBatch(ctx, matrixRows(queries), k, opts, false)
 }
 
 // RecordQueries captures the execution of every query row: the workload the
-// simulation replays. Queries are processed in parallel (host goroutines)
-// since recording is preprocessing — except when the options select a
-// mutable node cache (LRU), whose state evolves across queries: those are
-// recorded sequentially in query order so the captured executions do not
-// depend on host goroutine interleaving.
+// simulation replays. It is a thin wrapper over the same batch core as
+// SearchBatch with recording enabled. Queries are processed in parallel
+// (host goroutines) since recording is preprocessing — except when the
+// options select a mutable node cache (LRU), whose state evolves across
+// queries: those run sequentially in query order (index.BatchRun serialises
+// them) so the captured executions do not depend on goroutine interleaving.
 func (c *Collection) RecordQueries(queries *vec.Matrix, k int, opts index.SearchOptions) []QueryExec {
-	out := make([]QueryExec, queries.Len())
-	if opts.NodeCacheMutable() {
-		for qi := range out {
-			out[qi] = c.SearchDirect(queries.Row(qi), k, opts, true)
-		}
-		return out
+	return c.runBatch(context.Background(), matrixRows(queries), k, opts, true)
+}
+
+// matrixRows views a query matrix as a row slice for the batch core.
+func matrixRows(m *vec.Matrix) [][]float32 {
+	rows := make([][]float32, m.Len())
+	for i := range rows {
+		rows[i] = m.Row(i)
 	}
-	var wg sync.WaitGroup
-	nw := len(out)
-	sem := make(chan struct{}, 8)
-	for qi := 0; qi < nw; qi++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(qi int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[qi] = c.SearchDirect(queries.Row(qi), k, opts, true)
-		}(qi)
-	}
-	wg.Wait()
-	return out
+	return rows
 }

@@ -17,6 +17,7 @@ type Engine struct {
 	k   *sim.Kernel
 	cpu *sim.CPU
 	dev *ssd.Device
+	rd  pageReader // read path: the device directly, or a coalescing Batcher
 
 	sched      *sim.Semaphore // admission (nil = unbounded)
 	readSlots  *sim.Semaphore // segment-worker cap (nil = unbounded)
@@ -31,7 +32,7 @@ type Engine struct {
 // NewEngine binds a trait profile to a simulation, its CPU, and the storage
 // device queries read from.
 func NewEngine(k *sim.Kernel, cpu *sim.CPU, dev *ssd.Device, traits Traits) *Engine {
-	e := &Engine{Traits: traits, k: k, cpu: cpu, dev: dev}
+	e := &Engine{Traits: traits, k: k, cpu: cpu, dev: dev, rd: dev}
 	if traits.MaxConcurrent > 0 {
 		e.sched = sim.NewSemaphore(k, traits.Name+"/sched", int64(traits.MaxConcurrent))
 	}
@@ -42,6 +43,25 @@ func NewEngine(k *sim.Kernel, cpu *sim.CPU, dev *ssd.Device, traits Traits) *Eng
 		e.globalLock = sim.NewSemaphore(k, traits.Name+"/gil", 1)
 	}
 	return e
+}
+
+// pageReader is the engine's read path: one blocking read request. The
+// device's direct path charges full submission CPU per request; an
+// ssd.Batcher coalesces requests outstanding across concurrent queries into
+// shared submissions.
+type pageReader interface {
+	Read(e *sim.Env, page int64, bytes int)
+}
+
+// SetBatcher routes the engine's reads through a request coalescer (nil
+// restores the direct device path). The batcher must be bound to this
+// engine's device.
+func (e *Engine) SetBatcher(b *ssd.Batcher) {
+	if b == nil {
+		e.rd = e.dev
+		return
+	}
+	e.rd = b
 }
 
 // Device returns the engine's storage device.
@@ -130,25 +150,97 @@ func (e *Engine) RunQuery(env *sim.Env, qe *QueryExec) error {
 }
 
 // replaySteps walks one segment's recorded steps: each step burns its CPU
-// on a core, then issues its page batch to the device in parallel (beam
-// semantics). Node-cache hits recorded in a step were already charged as
-// CPU at record time; here they are only reported to the tracer so run
-// metrics can show hit rates alongside the device traffic they displaced.
+// on a core, launches its speculative prefetches in the background, then
+// issues its demand page batch (beam semantics). Node-cache hits recorded in
+// a step were already charged as CPU at record time; here they are only
+// reported to the tracer so run metrics can show hit rates alongside the
+// device traffic they displaced.
+//
+// Prefetches are the replay half of look-ahead: each PrefetchRun becomes a
+// background process reading its pages while subsequent steps burn CPU, with
+// a completion event keyed by first page. When a later step demands pages
+// whose prefetch is still in flight, the demand joins the event (waiting
+// only for the residual latency) instead of issuing a duplicate read — the
+// mechanism that overlaps hop h+1's I/O with hop h's compute.
 func (e *Engine) replaySteps(env *sim.Env, steps []index.Step) {
+	pageSize := e.dev.Config().PageSize
+	var inflight map[int64]*sim.Event // first page → prefetch completion
 	for _, s := range steps {
 		if s.CPU > 0 {
 			e.cpu.Use(env, s.CPU)
 		}
 		if s.CachePages > 0 {
-			e.dev.Tracer().EmitCacheHit(s.CachePages, s.CachePages*e.dev.Config().PageSize)
+			e.dev.Tracer().EmitCacheHit(env.Now(), s.CachePages, s.CachePages*pageSize)
+		}
+		for _, pf := range s.Prefetch {
+			if len(pf.Pages) == 0 {
+				continue
+			}
+			if inflight == nil {
+				inflight = map[int64]*sim.Event{}
+			}
+			if pf.Contiguous {
+				ev := sim.NewEvent(e.k)
+				inflight[pf.Pages[0]] = ev
+				first, bytes := pf.Pages[0], len(pf.Pages)*pageSize
+				e.k.Spawn(e.Name+"/prefetch", func(ce *sim.Env) {
+					e.rd.Read(ce, first, bytes)
+					ev.Fire()
+				})
+			} else {
+				for _, p := range pf.Pages {
+					p := p
+					ev := sim.NewEvent(e.k)
+					inflight[p] = ev
+					e.k.Spawn(e.Name+"/prefetch", func(ce *sim.Env) {
+						e.rd.Read(ce, p, pageSize)
+						ev.Fire()
+					})
+				}
+			}
 		}
 		if len(s.Pages) == 0 {
 			continue
 		}
 		if s.Contiguous {
-			e.dev.Read(env, s.Pages[0], len(s.Pages)*e.dev.Config().PageSize)
-		} else {
-			e.dev.ReadPages(env, s.Pages)
+			if ev, ok := inflight[s.Pages[0]]; ok {
+				delete(inflight, s.Pages[0])
+				ev.Wait(env)
+			} else {
+				e.rd.Read(env, s.Pages[0], len(s.Pages)*pageSize)
+			}
+			continue
+		}
+		// Beam step: join pages already in flight from a prefetch, read the
+		// rest in parallel, then wait for everything.
+		var joins []*sim.Event
+		toRead := s.Pages
+		if inflight != nil {
+			joins = make([]*sim.Event, 0, len(s.Pages))
+			toRead = make([]int64, 0, len(s.Pages))
+			for _, p := range s.Pages {
+				if ev, ok := inflight[p]; ok {
+					delete(inflight, p)
+					joins = append(joins, ev)
+				} else {
+					toRead = append(toRead, p)
+				}
+			}
+		}
+		switch len(toRead) {
+		case 0:
+		case 1:
+			e.rd.Read(env, toRead[0], pageSize)
+		default:
+			g := env.NewGroup()
+			for _, p := range toRead {
+				p := p
+				g.Go(e.Name+"/beam-read", func(ce *sim.Env) { e.rd.Read(ce, p, pageSize) })
+			}
+			g.Wait(env)
+		}
+		for _, ev := range joins {
+			ev.Wait(env)
 		}
 	}
 }

@@ -39,8 +39,8 @@ func saveLoadRoundTrip(t *testing.T, kind IndexKind, traits Traits, opts index.S
 	// Identical search results query for query.
 	for qi := 0; qi < 10; qi++ {
 		q := ds.Queries.Row(qi)
-		a := col.SearchDirect(q, 10, opts, false)
-		b := got.SearchDirect(q, 10, opts, false)
+		a := col.Search(q, 10, opts)
+		b := got.Search(q, 10, opts)
 		if !reflect.DeepEqual(a.IDs, b.IDs) {
 			t.Fatalf("%s query %d: results differ after round trip:\n%v\n%v", kind, qi, a.IDs, b.IDs)
 		}

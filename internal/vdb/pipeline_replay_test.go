@@ -1,0 +1,153 @@
+package vdb
+
+import (
+	"testing"
+	"time"
+
+	"svdbench/internal/index"
+	"svdbench/internal/sim"
+	"svdbench/internal/storage/ssd"
+	"svdbench/internal/trace"
+)
+
+// runTimed replays one QueryExec on a fresh neutral engine and returns the
+// elapsed virtual time plus the tracer that watched the device.
+func runTimed(t *testing.T, qe *QueryExec, batched bool) (sim.Duration, *trace.Tracer) {
+	t.Helper()
+	h := newEngineHarness(Traits{Name: "neutral"})
+	if batched {
+		h.eng.SetBatcher(ssd.NewBatcher(h.dev))
+	}
+	tr := trace.NewTracer(false)
+	h.dev.Attach(tr)
+	var elapsed sim.Duration
+	h.k.Spawn("q", func(e *sim.Env) {
+		start := e.Now()
+		if err := h.eng.RunQuery(e, qe); err != nil {
+			t.Errorf("query failed: %v", err)
+		}
+		elapsed = e.Now().Sub(start)
+	})
+	end := h.k.RunAll()
+	tr.FinishAt(end)
+	return elapsed, tr
+}
+
+// pipelinedExec is a two-hop beam query where hop 1 prefetches hop 2's
+// pages; stripPrefetch is the same schedule without the speculation.
+func pipelinedExec() *QueryExec {
+	return &QueryExec{Segments: [][]index.Step{{
+		{
+			CPU:      200 * time.Microsecond,
+			Pages:    []int64{0, 1},
+			Prefetch: []index.PrefetchRun{{Pages: []int64{10, 11}}},
+		},
+		{CPU: 200 * time.Microsecond, Pages: []int64{10, 11}},
+	}}}
+}
+
+func stripPrefetch(qe *QueryExec) *QueryExec {
+	out := &QueryExec{IDs: qe.IDs, Stats: qe.Stats}
+	for _, seg := range qe.Segments {
+		steps := make([]index.Step, len(seg))
+		for i, s := range seg {
+			s.Prefetch = nil
+			steps[i] = s
+		}
+		out.Segments = append(out.Segments, steps)
+	}
+	return out
+}
+
+// TestReplayPrefetchOverlapsIO: a prefetched schedule finishes strictly
+// faster than the same schedule without speculation — hop 2's read overlaps
+// hop 2's CPU — while the device sees identical traffic (the prefetch read
+// replaces the demand read, it does not duplicate it).
+func TestReplayPrefetchOverlapsIO(t *testing.T) {
+	qe := pipelinedExec()
+	base, baseTr := runTimed(t, stripPrefetch(qe), false)
+	pf, pfTr := runTimed(t, qe, false)
+	if pf >= base {
+		t.Errorf("prefetched replay took %v, not below synchronous %v", pf, base)
+	}
+	bOps, _, bBytes, _ := baseTr.Totals()
+	pOps, _, pBytes, _ := pfTr.Totals()
+	if bOps != pOps || bBytes != pBytes {
+		t.Errorf("prefetched device traffic (%d ops, %d B) differs from synchronous (%d ops, %d B)",
+			pOps, pBytes, bOps, bBytes)
+	}
+}
+
+// TestReplayPrefetchJoinWaitsForResidual: when the demand arrives before the
+// prefetch lands, the query waits only for the residual latency — total time
+// is still below the fully synchronous schedule, and no page is read twice.
+func TestReplayPrefetchJoinWaitsForResidual(t *testing.T) {
+	// Tiny CPU burst: the hop-2 demand arrives long before the ~100µs read
+	// completes, so the join path (Wait on an unfired event) is exercised.
+	qe := &QueryExec{Segments: [][]index.Step{{
+		{CPU: time.Microsecond, Pages: []int64{0}, Prefetch: []index.PrefetchRun{{Pages: []int64{10}}}},
+		{CPU: time.Microsecond, Pages: []int64{10}},
+	}}}
+	base, baseTr := runTimed(t, stripPrefetch(qe), false)
+	pf, pfTr := runTimed(t, qe, false)
+	if pf >= base {
+		t.Errorf("joined replay took %v, not below synchronous %v", pf, base)
+	}
+	bOps, _, _, _ := baseTr.Totals()
+	pOps, _, _, _ := pfTr.Totals()
+	if bOps != 2 || pOps != 2 {
+		t.Errorf("read ops = %d sync / %d prefetched, want 2/2 (no duplicate reads)", bOps, pOps)
+	}
+}
+
+// TestReplayContiguousPrefetchJoin: SPANN-style contiguous runs join as one
+// read keyed by their first page.
+func TestReplayContiguousPrefetchJoin(t *testing.T) {
+	qe := &QueryExec{Segments: [][]index.Step{{
+		{
+			CPU:        100 * time.Microsecond,
+			Pages:      []int64{0, 1, 2, 3},
+			Contiguous: true,
+			Prefetch:   []index.PrefetchRun{{Pages: []int64{8, 9, 10, 11}, Contiguous: true}},
+		},
+		{CPU: 100 * time.Microsecond, Pages: []int64{8, 9, 10, 11}, Contiguous: true},
+	}}}
+	base, baseTr := runTimed(t, stripPrefetch(qe), false)
+	pf, pfTr := runTimed(t, qe, false)
+	if pf >= base {
+		t.Errorf("contiguous prefetched replay took %v, not below synchronous %v", pf, base)
+	}
+	bOps, _, bBytes, _ := baseTr.Totals()
+	pOps, _, pBytes, _ := pfTr.Totals()
+	if bOps != pOps || bBytes != pBytes {
+		t.Errorf("device traffic differs: %d/%d ops, %d/%d bytes", bOps, pOps, bBytes, pBytes)
+	}
+}
+
+// TestReplayUnusedPrefetchCostsBandwidthNotLatency: a prefetch nothing
+// demands adds device reads (the wasted-speculation bandwidth tax) without
+// blocking query completion.
+func TestReplayUnusedPrefetchCostsBandwidthNotLatency(t *testing.T) {
+	qe := &QueryExec{Segments: [][]index.Step{{
+		{CPU: 50 * time.Microsecond, Pages: []int64{0}, Prefetch: []index.PrefetchRun{{Pages: []int64{99}}}},
+	}}}
+	_, tr := runTimed(t, qe, false)
+	ops, _, _, _ := tr.Totals()
+	if ops != 2 {
+		t.Errorf("device read ops = %d, want 2 (demand + wasted prefetch)", ops)
+	}
+}
+
+// TestReplayThroughBatcher: routing the same prefetched schedule through the
+// coalescer must not change the bytes read or break completion.
+func TestReplayThroughBatcher(t *testing.T) {
+	qe := pipelinedExec()
+	_, directTr := runTimed(t, qe, false)
+	_, batchedTr := runTimed(t, qe, true)
+	dOps, _, dBytes, _ := directTr.Totals()
+	bOps, _, bBytes, _ := batchedTr.Totals()
+	if dOps != bOps || dBytes != bBytes {
+		t.Errorf("batched device traffic (%d ops, %d B) differs from direct (%d ops, %d B)",
+			bOps, bBytes, dOps, dBytes)
+	}
+}

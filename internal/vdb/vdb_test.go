@@ -112,7 +112,7 @@ func TestSegmentedSearchRecall(t *testing.T) {
 	}
 	results := make([][]int32, ds.Queries.Len())
 	for qi := range results {
-		exec := col.SearchDirect(ds.Queries.Row(qi), 10, index.SearchOptions{EfSearch: 64}, false)
+		exec := col.Search(ds.Queries.Row(qi), 10, index.SearchOptions{EfSearch: 64})
 		results[qi] = exec.IDs
 	}
 	if r := dataset.MeanRecallAtK(results, ds.GroundTruth, 10); r < 0.9 {
@@ -162,13 +162,13 @@ func TestInsertDeleteAndTombstones(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec := col.SearchDirect(q, 5, index.SearchOptions{EfSearch: 50}, false)
+	exec := col.Search(q, 5, index.SearchOptions{EfSearch: 50})
 	if len(exec.IDs) == 0 || exec.IDs[0] != id {
 		t.Fatalf("fresh insert not top hit: %v (want %d first)", exec.IDs, id)
 	}
 	// Delete it: it must vanish.
 	col.Delete(id)
-	exec = col.SearchDirect(q, 5, index.SearchOptions{EfSearch: 50}, false)
+	exec = col.Search(q, 5, index.SearchOptions{EfSearch: 50})
 	for _, got := range exec.IDs {
 		if got == id {
 			t.Fatal("tombstoned id still returned")
@@ -193,10 +193,10 @@ func TestPayloadFilteredSearch(t *testing.T) {
 	if err := col.BulkLoad(ds.Vectors, payloads); err != nil {
 		t.Fatal(err)
 	}
-	exec := col.SearchDirect(ds.Queries.Row(0), 10, index.SearchOptions{
+	exec := col.Search(ds.Queries.Row(0), 10, index.SearchOptions{
 		EfSearch: 100,
 		Filter:   col.FilterEq("lang", "nl"),
-	}, false)
+	})
 	if len(exec.IDs) == 0 {
 		t.Fatal("filtered search found nothing")
 	}

@@ -61,10 +61,16 @@ type (
 	QueryExec = vdb.QueryExec
 
 	// SearchOptions carries search-time parameters (nprobe, efSearch,
-	// search_list, beam_width, filters).
+	// search_list, beam_width, look-ahead, filters).
 	SearchOptions = index.SearchOptions
 	// SearchResult is a completed search with work statistics.
 	SearchResult = index.Result
+	// SearchStats counts the work one search performed, including the
+	// speculative-read accounting of look-ahead pipelining.
+	SearchStats = index.Stats
+	// Searcher is a batch-capable index: SearchBatch answers a whole query
+	// batch with results byte-identical to sequential Search calls.
+	Searcher = index.Searcher
 
 	// Bench orchestrates datasets, stacks and experiment cells.
 	Bench = core.Bench
@@ -201,6 +207,7 @@ func WithCores(n int) RunOption                   { return core.WithCores(n) }
 func WithSeed(seed int64) RunOption               { return core.WithSeed(seed) }
 func WithTimeline(bucket time.Duration) RunOption { return core.WithTimeline(bucket) }
 func WithMaxReadConcurrent(n int) RunOption       { return core.WithMaxReadConcurrent(n) }
+func WithCoalesceReads(on bool) RunOption         { return core.WithCoalesceReads(on) }
 
 // NewSearchOptions builds SearchOptions from functional options.
 func NewSearchOptions(opts ...SearchOption) SearchOptions { return index.NewSearchOptions(opts...) }
@@ -210,6 +217,14 @@ func WithNProbe(n int) SearchOption     { return index.WithNProbe(n) }
 func WithEfSearch(ef int) SearchOption  { return index.WithEfSearch(ef) }
 func WithSearchList(l int) SearchOption { return index.WithSearchList(l) }
 func WithBeamWidth(w int) SearchOption  { return index.WithBeamWidth(w) }
+
+// Async-pipeline options for the batch-first search API: WithLookAhead sets
+// how many top unexpanded candidates' pages a storage-based search
+// speculatively prefetches while the current hop scores (results stay
+// byte-identical at any depth); WithQueryConcurrency bounds how many queries
+// of one SearchBatch run concurrently.
+func WithLookAhead(n int) SearchOption        { return index.WithLookAhead(n) }
+func WithQueryConcurrency(n int) SearchOption { return index.WithQueryConcurrency(n) }
 
 // Node-cache options for the storage-based indexes (DiskANN, SPANN): cache
 // the n hottest nodes between beam search and the device. Policies are

@@ -30,7 +30,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	opts := SearchOptions{SearchList: 10, BeamWidth: 4}
 	results := make([][]int32, ds.Queries.Len())
 	for qi := range results {
-		results[qi] = col.SearchDirect(ds.Queries.Row(qi), PaperK, opts, false).IDs
+		results[qi] = col.Search(ds.Queries.Row(qi), PaperK, opts).IDs
 	}
 	recall := MeanRecallAtK(results, ds.GroundTruth, PaperK)
 	if recall < 0.85 {
@@ -54,7 +54,7 @@ func TestPublicConstantsAndRegistry(t *testing.T) {
 	if len(CatalogNames()) != 4 {
 		t.Error("catalog wrong")
 	}
-	if len(Experiments()) != 21 {
+	if len(Experiments()) != 22 {
 		t.Error("registry wrong")
 	}
 	if _, err := ExperimentByID("fig2"); err != nil {
