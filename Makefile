@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-pipeline fuzz
+.PHONY: all build test race vet lint check bench bench-pipeline bench-host fuzz
 
 all: build
 
@@ -39,6 +39,13 @@ bench:
 # BENCH_pipeline.json wall-clock trajectory artefact (ROADMAP item 5).
 bench-pipeline:
 	$(GO) run ./cmd/pipelinebench -out BENCH_pipeline.json
+
+# Host-speed microbenchmarks of the distance kernels and the zero-alloc
+# search layer: regenerates the committed BENCH_host.json trajectory
+# artefact (ROADMAP item 4). HOSTBENCH_FLAGS=-quick runs the kernel section
+# only (the CI smoke mode).
+bench-host:
+	$(GO) run ./cmd/hostbench -out BENCH_host.json $(HOSTBENCH_FLAGS)
 
 # Short coverage-guided fuzzing of the node-cache invariants (the seeded
 # corpora already run as part of every plain `go test`); each target gets a

@@ -6,8 +6,11 @@
 //	annbench -list
 //	annbench -experiment fig2 [-scale small] [-duration 2s] [-reps 3] [-parallel 8]
 //	annbench -experiment all -quick
+//	annbench -experiment fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Results print as aligned text tables; EXPERIMENTS.md archives a full run.
+// The -cpuprofile/-memprofile flags capture host-side pprof profiles of the
+// run, for diagnosing hot-path regressions without editing code.
 //
 // Exit codes: 0 on success, 2 on user error (unknown experiment or engine,
 // bad flags), 1 on internal failure. Ctrl-C cancels the run after the
@@ -23,6 +26,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -85,12 +90,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		quick    = fs.Bool("quick", false, "tiny scale, 300ms cells, 1 repetition")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
 		}
 		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "annbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "annbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {

@@ -50,6 +50,12 @@ func SearchBatchOf(ctx context.Context, ix Index, queries [][]float32, k int, op
 // query order so the recorded executions do not depend on host goroutine
 // interleaving — the same discipline vdb.Collection.RecordQueries always
 // applied.
+//
+// Each concurrent worker slot owns one SearchScratch, handed to queries
+// through a free-list channel, so the heaps and visited sets of the search
+// hot path are allocated workers times per batch instead of once per query.
+// Scratch identity never influences results (only where intermediate state
+// lives), so the nondeterministic query→scratch pairing is harmless.
 func BatchRun(ctx context.Context, n int, opts SearchOptions, search func(qi int, opts SearchOptions) Result) []Result {
 	out := make([]Result, n)
 	if n == 0 {
@@ -71,13 +77,27 @@ func BatchRun(ctx context.Context, n int, opts SearchOptions, search func(qi int
 		workers = 1
 	}
 	if workers == 1 {
+		scr := opts.Scratch
+		if scr == nil {
+			scr = NewSearchScratch()
+		}
 		for qi := 0; qi < n; qi++ {
 			if ctx.Err() != nil {
 				return out
 			}
-			out[qi] = search(qi, qOpts(qi))
+			o := qOpts(qi)
+			o.Scratch = scr
+			out[qi] = search(qi, o)
 		}
 		return out
+	}
+	free := make(chan *SearchScratch, workers)
+	for i := 0; i < workers; i++ {
+		if i == 0 && opts.Scratch != nil {
+			free <- opts.Scratch
+			continue
+		}
+		free <- NewSearchScratch()
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -90,7 +110,10 @@ func BatchRun(ctx context.Context, n int, opts SearchOptions, search func(qi int
 		go func(qi int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[qi] = search(qi, qOpts(qi))
+			o := qOpts(qi)
+			o.Scratch = <-free
+			out[qi] = search(qi, o)
+			free <- o.Scratch
 		}(qi)
 	}
 	wg.Wait()

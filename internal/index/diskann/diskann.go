@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -348,12 +349,17 @@ func (ix *Index) AssignPages(alloc func(npages int64) int64) {
 
 // nodePages returns the storage pages of one node.
 func (ix *Index) nodePages(row int32) []int64 {
+	return ix.appendNodePages(nil, row)
+}
+
+// appendNodePages appends the storage pages of one node to dst, the
+// allocation-free form of nodePages for the search hot path.
+func (ix *Index) appendNodePages(dst []int64, row int32) []int64 {
 	first := ix.basePage + int64(row)*int64(ix.pagesPerNode)
-	pages := make([]int64, ix.pagesPerNode)
-	for i := range pages {
-		pages[i] = first + int64(i)
+	for i := 0; i < ix.pagesPerNode; i++ {
+		dst = append(dst, first+int64(i))
 	}
-	return pages
+	return dst
 }
 
 // PagesPerNode reports the node footprint in pages (1 for 768-d, 2 for
@@ -475,15 +481,21 @@ func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bo
 	return c.Snapshot(), true
 }
 
-// searchEntry is one candidate-list slot during beam search.
-type searchEntry struct {
-	id      int32
-	pqDist  float32
-	visited bool
-}
-
 // Search implements index.Index with DiskANN beam search.
 func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
+	var r index.Result
+	ix.SearchInto(q, k, opts, &r)
+	return r
+}
+
+// SearchInto implements index.SearcherInto: the beam search writing into a
+// caller-owned Result. All per-query state — candidate list, PQ lookup
+// table, heaps, membership/in-flight sets, beam and page buffers — lives in
+// the options' scratch, so with a reused scratch and dst the steady-state
+// path (no recorder, no node cache) performs no allocations per query.
+// Results, Stats and the recorded execution are byte-identical to the
+// pre-scratch allocating implementation.
+func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	L := opts.SearchList
 	if L < k {
 		L = k
@@ -499,55 +511,73 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	stats := index.Stats{}
 	cache := ix.nodeCacheFor(opts)
 	la := opts.LookAhead
-	// inFlight tracks nodes whose pages a prior hop speculatively issued and
-	// no hop has demanded yet; a later demand joins the in-flight read at
-	// replay instead of issuing a duplicate.
-	var inFlight map[int32]bool
+	scr := index.ScratchFor(opts)
+	// inList tracks candidate-list membership; inFlight tracks nodes whose
+	// pages a prior hop speculatively issued and no hop has demanded yet (a
+	// later demand joins the in-flight read at replay instead of issuing a
+	// duplicate).
+	inList := &scr.Visited
+	inList.Begin(ix.data.Len())
+	var inFlight *index.EpochSet
 	if la > 0 {
-		inFlight = map[int32]bool{}
+		inFlight = &scr.InFlight
+		inFlight.Begin(ix.data.Len())
 	}
 
 	qs := ix.scorer.Query(q)
-	table := ix.quantizer.BuildTable(q)
+	scr.Table = ix.quantizer.BuildTableInto(q, scr.Table)
+	table := pq.Table(scr.Table)
 	// Table construction cost: 256 sub-distance rows over the full dim.
 	rec.AddCPU(ix.cost.Dist(ix.data.Dim, 256))
 	m := ix.quantizer.M()
 
-	cands := make([]searchEntry, 0, L+W)
-	inList := map[int32]bool{}
+	cands := scr.Cands[:0]
 	pqThisIter := 0
 	push := func(id int32) {
-		if inList[id] {
+		if inList.Contains(id) {
 			return
 		}
-		inList[id] = true
+		inList.Add(id)
 		d := table.DistanceAt(ix.codes, m, int(id))
 		stats.PQComps++
 		pqThisIter++
-		cands = append(cands, searchEntry{id: id, pqDist: d})
+		cands = append(cands, index.BeamEntry{ID: id, Dist: d})
 	}
 	push(ix.medoid)
 
-	var exact index.MaxHeap // re-ranked results by full-precision distance
-	beam := make([]int, 0, W)
-	pages := make([]int64, 0, W*ix.pagesPerNode)
+	exact := &scr.Bounded // re-ranked results by full-precision distance
+	exact.Reset()
+	beam := scr.Beam[:0]
+	pages := scr.Pages[:0]
 	for {
-		// Pick the W closest unvisited candidates.
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].pqDist != cands[j].pqDist {
-				return cands[i].pqDist < cands[j].pqDist
+		// Pick the W closest unvisited candidates. The comparator is a
+		// strict total order (ids are unique in the list), so the sorted
+		// permutation is algorithm-independent — switching from sort.Slice
+		// changed no recorded execution.
+		slices.SortFunc(cands, func(a, b index.BeamEntry) int {
+			if a.Dist != b.Dist {
+				if a.Dist < b.Dist {
+					return -1
+				}
+				return 1
 			}
-			return cands[i].id < cands[j].id
+			if a.ID != b.ID {
+				if a.ID < b.ID {
+					return -1
+				}
+				return 1
+			}
+			return 0
 		})
 		if len(cands) > L {
 			for _, c := range cands[L:] {
-				delete(inList, c.id)
+				inList.Remove(c.ID)
 			}
 			cands = cands[:L]
 		}
 		beam = beam[:0]
 		for i := range cands {
-			if !cands[i].visited {
+			if !cands[i].Visited {
 				beam = append(beam, i)
 				if len(beam) == W {
 					break
@@ -564,19 +594,18 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		pages = pages[:0]
 		cachedPages := 0
 		for _, bi := range beam {
-			id := cands[bi].id
+			id := cands[bi].ID
 			if cache != nil && cache.Touch(id, ix.pagesPerNode) {
 				cachedPages += ix.pagesPerNode
 				continue
 			}
-			if inFlight[id] {
-				// A look-ahead already issued this node's pages; the demand
-				// read joins it at replay. Pages still count in PagesRead —
-				// demand accounting is invariant under look-ahead.
+			if la > 0 && inFlight.Contains(id) {
+				// Pages still count in PagesRead — demand accounting is
+				// invariant under look-ahead.
 				stats.PrefetchUsed += ix.pagesPerNode
-				delete(inFlight, id)
+				inFlight.Remove(id)
 			}
-			pages = append(pages, ix.nodePages(id)...)
+			pages = ix.appendNodePages(pages, id)
 		}
 		stats.PagesRead += len(pages)
 		stats.CachePages += cachedPages
@@ -592,28 +621,38 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		if la > 0 {
 			picked := 0
 			for i := beam[len(beam)-1] + 1; i < len(cands) && picked < la; i++ {
-				id := cands[i].id
-				if cands[i].visited || inFlight[id] {
+				id := cands[i].ID
+				if cands[i].Visited || inFlight.Contains(id) {
 					continue
 				}
 				if cache != nil && cache.Contains(id) {
 					continue
 				}
-				inFlight[id] = true
-				pf := ix.nodePages(id)
-				stats.PrefetchPages += len(pf)
-				rec.AddPrefetch(index.PrefetchRun{Pages: pf})
+				inFlight.Add(id)
+				scr.PF = ix.appendNodePages(scr.PF[:0], id)
+				stats.PrefetchPages += len(scr.PF)
+				rec.AddPrefetch(index.PrefetchRun{Pages: scr.PF})
 				picked++
 			}
 		}
 		rec.AddIO(pages)
-		// Expand each fetched node: exact re-rank plus PQ-scored
-		// neighbour insertion.
-		pqThisIter = 0
+		// Expand each fetched node: exact re-rank plus PQ-scored neighbour
+		// insertion. The beam's exact distances are batch-scored up front
+		// (bit-identical to per-node calls); push order is unchanged.
+		scr.IDs = scr.IDs[:0]
 		for _, bi := range beam {
-			cands[bi].visited = true
-			id := cands[bi].id
-			ed := qs.Dist(int(id))
+			scr.IDs = append(scr.IDs, cands[bi].ID)
+		}
+		if cap(scr.Dists) < len(scr.IDs) {
+			scr.Dists = make([]float32, len(scr.IDs))
+		}
+		beamDists := scr.Dists[:len(scr.IDs)]
+		qs.DistBatch(scr.IDs, beamDists)
+		pqThisIter = 0
+		for j, bi := range beam {
+			cands[bi].Visited = true
+			id := cands[bi].ID
+			ed := beamDists[j]
 			stats.DistComps++
 			extID := ix.extID(id)
 			if opts.Filter == nil || opts.Filter(extID) {
@@ -626,7 +665,9 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		rec.AddCPU(ix.cost.Dist(ix.data.Dim, len(beam)) + ix.cost.PQ(m, pqThisIter))
 	}
 	rec.Flush()
-	return index.ResultFromNeighbors(exact.SortedAscending(), k, stats)
+	scr.Cands, scr.Beam, scr.Pages = cands, beam, pages
+	scr.Neighbors = exact.DrainAscending(scr.Neighbors[:0])
+	index.ResultInto(scr.Neighbors, k, stats, dst)
 }
 
 func (ix *Index) extID(row int32) int32 {
@@ -647,4 +688,5 @@ func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, op
 
 var _ index.Index = (*Index)(nil)
 var _ index.Searcher = (*Index)(nil)
+var _ index.SearcherInto = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

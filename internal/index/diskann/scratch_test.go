@@ -1,0 +1,85 @@
+package diskann
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"svdbench/internal/index"
+)
+
+// TestScratchReuseIdentity: one scratch and one dst reused across every
+// query must reproduce the fresh-scratch search exactly — ids, distances,
+// stats, and the full recorded execution.
+func TestScratchReuseIdentity(t *testing.T) {
+	ds, ix := shared(t)
+	opts := uncachedOpts().With(index.WithLookAhead(2))
+	scr := index.NewSearchScratch()
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		q := ds.Queries.Row(qi)
+		base, baseProf := recordOne(ix, q, opts)
+		var prof index.Profile
+		o := opts
+		o.Recorder = &prof
+		o.Scratch = scr
+		ix.SearchInto(q, 10, o, &dst)
+		if !reflect.DeepEqual(base.IDs, dst.IDs) || !reflect.DeepEqual(base.Dists, dst.Dists) {
+			t.Fatalf("query %d: reused scratch changed results", qi)
+		}
+		if base.Stats != dst.Stats {
+			t.Fatalf("query %d: stats differ: %+v vs %+v", qi, base.Stats, dst.Stats)
+		}
+		if !reflect.DeepEqual(baseProf.Steps, prof.Steps) {
+			t.Fatalf("query %d: recorded execution differs under scratch reuse", qi)
+		}
+	}
+}
+
+// TestSearchBatchMatchesSequential: the batch driver threads one scratch per
+// worker; results must match single-query searches exactly at any
+// concurrency.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	ds, ix := shared(t)
+	opts := uncachedOpts()
+	queries := make([][]float32, ds.Queries.Len())
+	want := make([]index.Result, len(queries))
+	for qi := range queries {
+		queries[qi] = ds.Queries.Row(qi)
+		want[qi] = ix.Search(queries[qi], 10, opts)
+	}
+	for _, workers := range []int{1, 4} {
+		got := ix.SearchBatch(context.Background(), queries, 10,
+			opts.With(index.WithQueryConcurrency(workers)))
+		for qi := range queries {
+			if !reflect.DeepEqual(want[qi].IDs, got[qi].IDs) ||
+				!reflect.DeepEqual(want[qi].Dists, got[qi].Dists) ||
+				want[qi].Stats != got[qi].Stats {
+				t.Fatalf("workers=%d query %d: batch result differs", workers, qi)
+			}
+		}
+	}
+}
+
+// TestSearchSteadyStateZeroAlloc pins the tentpole: with a reused scratch
+// and dst, no recorder and no node cache, a steady-state DiskANN query
+// performs zero heap allocations.
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	ds, ix := shared(t)
+	opts := uncachedOpts()
+	opts.Scratch = index.NewSearchScratch()
+	var dst index.Result
+	// Warm the scratch across the whole query set so no measured iteration
+	// grows a buffer for the first time.
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		ix.SearchInto(ds.Queries.Row(qi), 10, opts, &dst)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		ix.SearchInto(ds.Queries.Row(qi%ds.Queries.Len()), 10, opts, &dst)
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state search allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -40,28 +40,71 @@ func (ix *Index) MemoryBytes() int64 {
 // StorageBytes implements index.SizeReporter.
 func (ix *Index) StorageBytes() int64 { return 0 }
 
+// scanChunk is the row batch of the unfiltered scan: the distance buffer
+// lives in the scratch and each chunk is one batch-kernel call.
+const scanChunk = 256
+
 // Search implements index.Index with an exact scan.
 func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
-	var heap index.MaxHeap
+	var r index.Result
+	ix.SearchInto(q, k, opts, &r)
+	return r
+}
+
+// SearchInto implements index.SearcherInto: the exact scan writing into a
+// caller-owned Result. Unfiltered scans run through the batch distance
+// kernel over the contiguous matrix (bit-identical to per-row vec.Distance);
+// with a reused scratch and dst the steady-state path performs no
+// allocations per query.
+func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
+	scr := index.ScratchFor(opts)
+	heap := &scr.Bounded
+	heap.Reset()
 	n := ix.data.Len()
 	comps := 0
-	for i := 0; i < n; i++ {
-		id := int32(i)
-		if ix.ids != nil {
-			id = ix.ids[i]
+	if opts.Filter == nil && n > 0 {
+		raw := ix.data.Raw()
+		dim := ix.data.Dim
+		if cap(scr.Dists) < scanChunk {
+			scr.Dists = make([]float32, scanChunk)
 		}
-		if opts.Filter != nil && !opts.Filter(id) {
-			continue
+		for lo := 0; lo < n; lo += scanChunk {
+			cn := n - lo
+			if cn > scanChunk {
+				cn = scanChunk
+			}
+			buf := scr.Dists[:cn]
+			vec.DistanceBatch(ix.metric, q, raw[lo*dim:(lo+cn)*dim], buf)
+			for i := 0; i < cn; i++ {
+				id := int32(lo + i)
+				if ix.ids != nil {
+					id = ix.ids[lo+i]
+				}
+				heap.PushBounded(index.Neighbor{ID: id, Dist: buf[i]}, k)
+			}
 		}
-		d := vec.Distance(ix.metric, q, ix.data.Row(i))
-		comps++
-		heap.PushBounded(index.Neighbor{ID: id, Dist: d}, k)
+		comps = n
+	} else {
+		for i := 0; i < n; i++ {
+			id := int32(i)
+			if ix.ids != nil {
+				id = ix.ids[i]
+			}
+			if opts.Filter != nil && !opts.Filter(id) {
+				continue
+			}
+			d := vec.Distance(ix.metric, q, ix.data.Row(i))
+			comps++
+			heap.PushBounded(index.Neighbor{ID: id, Dist: d}, k)
+		}
 	}
 	stats := index.Stats{DistComps: comps}
 	opts.Recorder.AddCPU(ix.cost.Dist(ix.data.Dim, comps) + ix.cost.Heap(comps))
 	opts.Recorder.Flush()
-	return index.ResultFromNeighbors(heap.SortedAscending(), k, stats)
+	scr.Neighbors = heap.DrainAscending(scr.Neighbors[:0])
+	index.ResultInto(scr.Neighbors, k, stats, dst)
 }
 
 var _ index.Index = (*Index)(nil)
+var _ index.SearcherInto = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

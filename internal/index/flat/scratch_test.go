@@ -1,0 +1,49 @@
+package flat
+
+import (
+	"reflect"
+	"testing"
+
+	"svdbench/internal/index"
+	"svdbench/internal/vec"
+)
+
+// TestScratchReuseIdentity: the batched unfiltered scan with a reused
+// scratch must match the fresh-scratch search exactly for every metric.
+func TestScratchReuseIdentity(t *testing.T) {
+	for _, metric := range []vec.Metric{vec.L2, vec.IP, vec.Cosine} {
+		ds := testData()
+		ix := New(ds.Vectors, metric, nil)
+		scr := index.NewSearchScratch()
+		var dst index.Result
+		for qi := 0; qi < ds.Queries.Len(); qi++ {
+			q := ds.Queries.Row(qi)
+			base := ix.Search(q, 10, index.SearchOptions{})
+			ix.SearchInto(q, 10, index.SearchOptions{Scratch: scr}, &dst)
+			if !reflect.DeepEqual(base.IDs, dst.IDs) || !reflect.DeepEqual(base.Dists, dst.Dists) ||
+				base.Stats != dst.Stats {
+				t.Fatalf("metric %v query %d: reused scratch changed results", metric, qi)
+			}
+		}
+	}
+}
+
+// TestSearchSteadyStateZeroAlloc: the unfiltered scan with a reused scratch
+// and dst performs zero heap allocations per query.
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	ds := testData()
+	ix := New(ds.Vectors, vec.Cosine, nil)
+	opts := index.SearchOptions{Scratch: index.NewSearchScratch()}
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		ix.SearchInto(ds.Queries.Row(qi), 10, opts, &dst)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		ix.SearchInto(ds.Queries.Row(qi%ds.Queries.Len()), 10, opts, &dst)
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scan allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -145,20 +145,47 @@ func (h *MaxHeap) SortedAscending() []Neighbor {
 	return out
 }
 
+// DrainAscending appends the heap's neighbours, closest first, to dst and
+// returns the extended slice. The heap is empty afterwards. With a dst of
+// sufficient capacity this is the allocation-free form of SortedAscending.
+func (h *MaxHeap) DrainAscending(dst []Neighbor) []Neighbor {
+	n := len(h.a)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Neighbor{})
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[base+i] = h.Pop()
+	}
+	return dst
+}
+
 // ResultFromNeighbors converts an ascending neighbour list into a Result,
 // truncated to k.
 func ResultFromNeighbors(ns []Neighbor, k int, stats Stats) Result {
+	var r Result
+	ResultInto(ns, k, stats, &r)
+	return r
+}
+
+// ResultInto writes an ascending neighbour list, truncated to k, into dst,
+// reusing dst's id/distance buffers (the zero-allocation form of
+// ResultFromNeighbors).
+func ResultInto(ns []Neighbor, k int, stats Stats, dst *Result) {
 	if k > len(ns) {
 		k = len(ns)
 	}
-	r := Result{
-		IDs:   make([]int32, k),
-		Dists: make([]float32, k),
-		Stats: stats,
+	if dst.IDs == nil {
+		dst.IDs = make([]int32, 0, k) // non-nil even at k==0, like ResultFromNeighbors
 	}
+	if dst.Dists == nil {
+		dst.Dists = make([]float32, 0, k)
+	}
+	dst.IDs = dst.IDs[:0]
+	dst.Dists = dst.Dists[:0]
 	for i := 0; i < k; i++ {
-		r.IDs[i] = ns[i].ID
-		r.Dists[i] = ns[i].Dist
+		dst.IDs = append(dst.IDs, ns[i].ID)
+		dst.Dists = append(dst.Dists, ns[i].Dist)
 	}
-	return r
+	dst.Stats = stats
 }

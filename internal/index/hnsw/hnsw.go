@@ -54,27 +54,6 @@ type Index struct {
 
 	quantizer *sq.Quantizer
 	codes     []byte
-
-	// visitPool recycles visited-set buffers so concurrent searches do not
-	// share traversal state.
-	visitPool sync.Pool
-}
-
-// visitSet is an epoch-stamped visited marker reused across traversals.
-type visitSet struct {
-	stamps []uint32
-	epoch  uint32
-}
-
-func (v *visitSet) next() uint32 {
-	v.epoch++
-	if v.epoch == 0 { // wrapped: clear stale stamps
-		for i := range v.stamps {
-			v.stamps[i] = 0
-		}
-		v.epoch = 1
-	}
-	return v.epoch
 }
 
 // Build inserts every row of data into a fresh graph. ids, when non-nil,
@@ -102,7 +81,6 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 		scorer:   index.NewScorer(data, cfg.Metric),
 	}
 	n := data.Len()
-	ix.visitPool.New = func() interface{} { return &visitSet{stamps: make([]uint32, n)} }
 	if cfg.ScalarQuantize {
 		q, err := sq.Train(data)
 		if err != nil {
@@ -119,8 +97,14 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 	// Batched construction: candidate searches run in parallel against the
 	// frozen graph, links are applied serially. Batch sizes grow from 1 so
 	// the early graph (where every insertion changes everything) is built
-	// like the sequential algorithm.
+	// like the sequential algorithm. Each worker owns one search scratch for
+	// the whole build; the sequential path reuses seqScratch across batches.
 	workers := runtime.GOMAXPROCS(0)
+	seqScratch := index.NewSearchScratch()
+	workScratch := make([]*index.SearchScratch, workers)
+	for w := range workScratch {
+		workScratch[w] = index.NewSearchScratch()
+	}
 	lo, batch := 0, 1
 	for lo < n {
 		hi := lo + batch
@@ -130,7 +114,7 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 		plans := make([][][]index.Neighbor, hi-lo)
 		if hi-lo == 1 || workers == 1 {
 			for i := lo; i < hi; i++ {
-				plans[i-lo] = ix.planInsert(int32(i))
+				plans[i-lo] = ix.planInsert(int32(i), seqScratch)
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -144,12 +128,12 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 					break
 				}
 				wg.Add(1)
-				go func(s, e int) {
+				go func(s, e int, scr *index.SearchScratch) {
 					defer wg.Done()
 					for i := s; i < e; i++ {
-						plans[i-lo] = ix.planInsert(int32(i))
+						plans[i-lo] = ix.planInsert(int32(i), scr)
 					}
-				}(s, e)
+				}(s, e, workScratch[w])
 			}
 			wg.Wait()
 		}
@@ -165,8 +149,9 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 }
 
 // planInsert computes, against the frozen graph, the selected neighbours of
-// one row per layer (nil for the very first node).
-func (ix *Index) planInsert(row int32) [][]index.Neighbor {
+// one row per layer (nil for the very first node). scr is the calling
+// worker's scratch.
+func (ix *Index) planInsert(row int32, scr *index.SearchScratch) [][]index.Neighbor {
 	if ix.entry < 0 || ix.entry == row {
 		return nil
 	}
@@ -183,7 +168,7 @@ func (ix *Index) planInsert(row int32) [][]index.Neighbor {
 	selected := make([][]index.Neighbor, top+1)
 	eps := []index.Neighbor{{ID: ep, Dist: ix.dist(q, ep)}}
 	for l := top; l >= 0; l-- {
-		found := ix.searchLayer(q, eps, ix.cfg.EfConstruction, l, nil, nil)
+		found := ix.searchLayer(q, eps, ix.cfg.EfConstruction, l, nil, nil, scr)
 		selected[l] = ix.selectHeuristic(found, ix.cfg.M)
 		eps = found
 	}
@@ -333,17 +318,22 @@ func (ix *Index) neighbors(node int32, level int) []int32 {
 // searchLayer is HNSW's Algorithm 2: best-first expansion bounded by ef.
 // stats and rec may be nil during construction. It returns the ef closest
 // nodes, ascending by distance.
-func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, level int, stats *index.Stats, rec *index.Profile) []index.Neighbor {
-	vs := ix.visitPool.Get().(*visitSet)
-	defer ix.visitPool.Put(vs)
-	epoch := vs.next()
-	var frontier index.MinHeap
-	var results index.MaxHeap
+//
+// All working state lives in scr: heaps, the epoch-stamped visited set, the
+// gather buffers of the batched neighbour scoring, and the returned slice
+// itself (scr.Neighbors — consumed by the caller before the next searchLayer
+// call on the same scratch, which is safe because the entry points eps are
+// fully read into the heaps before the drain overwrites the buffer).
+func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, level int, stats *index.Stats, rec *index.Profile, scr *index.SearchScratch) []index.Neighbor {
+	scr.Visited.Begin(ix.data.Len())
+	frontier, results := &scr.Frontier, &scr.Results
+	frontier.Reset()
+	results.Reset()
 	for _, ep := range eps {
-		if vs.stamps[ep.ID] == epoch {
+		if scr.Visited.Contains(ep.ID) {
 			continue
 		}
-		vs.stamps[ep.ID] = epoch
+		scr.Visited.Add(ep.ID)
 		frontier.Push(ep)
 		results.PushBounded(ep, ef)
 	}
@@ -353,14 +343,32 @@ func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, leve
 			break
 		}
 		nbs := ix.neighbors(cur.ID, level)
-		comps := 0
+		// Gather this hop's unvisited neighbours, then score them in one
+		// batch. Marking order, distance values and the push sequence are
+		// identical to the per-neighbour loop, so results and recorded
+		// costs are unchanged.
+		scr.IDs = scr.IDs[:0]
 		for _, nb := range nbs {
-			if vs.stamps[nb] == epoch {
+			if scr.Visited.Contains(nb) {
 				continue
 			}
-			vs.stamps[nb] = epoch
-			d := ix.dist(q, nb)
-			comps++
+			scr.Visited.Add(nb)
+			scr.IDs = append(scr.IDs, nb)
+		}
+		comps := len(scr.IDs)
+		if cap(scr.Dists) < comps {
+			scr.Dists = make([]float32, comps)
+		}
+		dists := scr.Dists[:comps]
+		if ix.quantizer != nil {
+			for i, nb := range scr.IDs {
+				dists[i] = ix.quantizer.DistanceAt(q.Vector(), ix.codes, int(nb))
+			}
+		} else {
+			q.DistBatch(scr.IDs, dists)
+		}
+		for i, nb := range scr.IDs {
+			d := dists[i]
 			if results.Len() < ef || d < results.Peek().Dist {
 				frontier.Push(index.Neighbor{ID: nb, Dist: d})
 				results.PushBounded(index.Neighbor{ID: nb, Dist: d}, ef)
@@ -376,12 +384,23 @@ func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, leve
 		}
 		rec.AddCPU(ix.cost.Dist(ix.data.Dim, comps) + ix.cost.Heap(comps+2))
 	}
-	return results.SortedAscending()
+	scr.Neighbors = results.DrainAscending(scr.Neighbors[:0])
+	return scr.Neighbors
 }
 
 // Search implements index.Index: greedy descent through upper layers, then
 // an efSearch-bounded layer-0 expansion.
 func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
+	var r index.Result
+	ix.SearchInto(q, k, opts, &r)
+	return r
+}
+
+// SearchInto implements index.SearcherInto: Search writing into a
+// caller-owned Result. With a reused scratch and dst the steady-state path
+// performs no allocations.
+func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
+	scr := index.ScratchFor(opts)
 	ef := opts.EfSearch
 	if ef < k {
 		ef = k
@@ -410,17 +429,20 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		}
 	}
 	rec.AddCPU(ix.cost.Dist(ix.data.Dim, stats.DistComps))
-	found := ix.searchLayer(qs, []index.Neighbor{{ID: ep, Dist: epD}}, ef, 0, &stats, rec)
+	eps := [1]index.Neighbor{{ID: ep, Dist: epD}}
+	found := ix.searchLayer(qs, eps[:], ef, 0, &stats, rec, scr)
 	rec.Flush()
-	// Apply filter and map to external ids.
-	out := make([]index.Neighbor, 0, k)
+	// Apply filter and map to external ids, compacting in place (found
+	// aliases scr.Neighbors; the write index never passes the read index).
+	w := 0
 	for _, n := range found {
 		id := ix.extID(n.ID)
 		if opts.Filter != nil && !opts.Filter(id) {
 			continue
 		}
-		out = append(out, index.Neighbor{ID: id, Dist: n.Dist})
-		if len(out) == k {
+		found[w] = index.Neighbor{ID: id, Dist: n.Dist}
+		w++
+		if w == k {
 			break
 		}
 	}
@@ -428,7 +450,7 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 		stats.PQComps += stats.DistComps
 		stats.DistComps = 0
 	}
-	return index.ResultFromNeighbors(out, k, stats)
+	index.ResultInto(found[:w], k, stats, dst)
 }
 
 func (ix *Index) extID(row int32) int32 {
@@ -498,4 +520,5 @@ func lessNeighbor(a, b index.Neighbor) bool {
 }
 
 var _ index.Index = (*Index)(nil)
+var _ index.SearcherInto = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

@@ -99,6 +99,5 @@ func ReadFrom(r *binenc.Reader, data *vec.Matrix, ids []int32) (*Index, error) {
 	if len(ix.levels) != n || int(ix.entry) >= n {
 		return nil, fmt.Errorf("hnsw: corrupt persisted index")
 	}
-	ix.visitPool.New = func() interface{} { return &visitSet{stamps: make([]uint32, n)} }
 	return ix, nil
 }

@@ -1,0 +1,60 @@
+package hnsw
+
+import (
+	"reflect"
+	"testing"
+
+	"svdbench/internal/index"
+)
+
+// TestScratchReuseIdentity: one scratch and one dst reused across every
+// query must reproduce the fresh-scratch search exactly — ids, distances,
+// stats, and the recorded execution.
+func TestScratchReuseIdentity(t *testing.T) {
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, nil, Config{M: 16, EfConstruction: 100, Metric: ds.Spec.Metric, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := index.NewSearchScratch()
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		q := ds.Queries.Row(qi)
+		var baseProf, prof index.Profile
+		base := ix.Search(q, 10, index.SearchOptions{EfSearch: 40, Recorder: &baseProf})
+		ix.SearchInto(q, 10, index.SearchOptions{EfSearch: 40, Recorder: &prof, Scratch: scr}, &dst)
+		if !reflect.DeepEqual(base.IDs, dst.IDs) || !reflect.DeepEqual(base.Dists, dst.Dists) {
+			t.Fatalf("query %d: reused scratch changed results", qi)
+		}
+		if base.Stats != dst.Stats {
+			t.Fatalf("query %d: stats differ: %+v vs %+v", qi, base.Stats, dst.Stats)
+		}
+		if !reflect.DeepEqual(baseProf.Steps, prof.Steps) {
+			t.Fatalf("query %d: recorded execution differs under scratch reuse", qi)
+		}
+	}
+}
+
+// TestSearchSteadyStateZeroAlloc: with a reused scratch and dst and no
+// recorder, a steady-state in-memory HNSW query performs zero heap
+// allocations.
+func TestSearchSteadyStateZeroAlloc(t *testing.T) {
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, nil, Config{M: 16, EfConstruction: 100, Metric: ds.Spec.Metric, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := index.SearchOptions{EfSearch: 40, Scratch: index.NewSearchScratch()}
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		ix.SearchInto(ds.Queries.Row(qi), 10, opts, &dst)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		ix.SearchInto(ds.Queries.Row(qi%ds.Queries.Len()), 10, opts, &dst)
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state search allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -60,6 +60,12 @@ type SearchOptions struct {
 	// against a mutable node cache always run sequentially in query order
 	// regardless, so recorded executions stay deterministic.
 	QueryConcurrency int
+	// Scratch, when non-nil, supplies the reusable per-searcher workspace
+	// (heaps, visited sets, candidate buffers) of the zero-alloc search hot
+	// path. A scratch must be owned by one goroutine at a time; BatchRun
+	// threads one per worker. Nil means the search allocates a private
+	// scratch — results are identical either way.
+	Scratch *SearchScratch
 	// Recorder, when non-nil, receives the query's execution profile.
 	Recorder *Profile
 	// RecorderFor, when non-nil, supplies a per-query profile recorder for

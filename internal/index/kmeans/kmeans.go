@@ -99,16 +99,34 @@ func Run(data *vec.Matrix, cfg Config) Result {
 	return Result{Centroids: centroids, Assign: assign, Sizes: sizes, Iters: iters}
 }
 
-// seedPlusPlus picks initial centroids with the k-means++ D² weighting.
+// seedPlusPlus picks initial centroids with the k-means++ D² weighting. The
+// data-wide distance sweeps run through the batch kernel (data rows are
+// contiguous); L2Sq is argument-order-exact, so the picks are unchanged.
 func seedPlusPlus(data *vec.Matrix, k int, r *rand.Rand) *vec.Matrix {
 	n := data.Len()
 	centroids := vec.NewMatrix(k, data.Dim)
 	first := r.Intn(n)
 	copy(centroids.Row(0), data.Row(first))
 	d2 := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d2[i] = float64(vec.L2Sq(data.Row(i), centroids.Row(0)))
+	sweep := func(c int, min bool) {
+		var buf [scoreChunk]float32
+		raw := data.Raw()
+		dim := data.Dim
+		cv := centroids.Row(c)
+		for lo := 0; lo < n; lo += scoreChunk {
+			cn := n - lo
+			if cn > scoreChunk {
+				cn = scoreChunk
+			}
+			vec.L2SqBatch(cv, raw[lo*dim:(lo+cn)*dim], buf[:cn])
+			for i := 0; i < cn; i++ {
+				if d := float64(buf[i]); !min || d < d2[lo+i] {
+					d2[lo+i] = d
+				}
+			}
+		}
 	}
+	sweep(0, false)
 	for c := 1; c < k; c++ {
 		var sum float64
 		for _, d := range d2 {
@@ -130,11 +148,7 @@ func seedPlusPlus(data *vec.Matrix, k int, r *rand.Rand) *vec.Matrix {
 			}
 		}
 		copy(centroids.Row(c), data.Row(pick))
-		for i := 0; i < n; i++ {
-			if d := float64(vec.L2Sq(data.Row(i), centroids.Row(c))); d < d2[i] {
-				d2[i] = d
-			}
-		}
+		sweep(c, true)
 	}
 	return centroids
 }
@@ -172,13 +186,33 @@ func assignAll(data, centroids *vec.Matrix, assign []int32) {
 	wg.Wait()
 }
 
+// scoreChunk is the row batch of the chunked centroid scans below: big
+// enough to amortise the batch-kernel call, small enough to live on the
+// stack.
+const scoreChunk = 64
+
 // Nearest returns the index of the centroid closest to v under squared
 // Euclidean distance.
+//
+// Centroid matrices are contiguous, so distances come from the batch kernel
+// in chunks; they are bit-identical to the scalar loop, and the first-
+// minimum rule (strict <, ascending scan) picks the same argmin.
 func Nearest(centroids *vec.Matrix, v []float32) int {
+	var buf [scoreChunk]float32
+	raw := centroids.Raw()
+	dim := centroids.Dim
+	k := centroids.Len()
 	best, bestD := 0, float32(math.Inf(1))
-	for c := 0; c < centroids.Len(); c++ {
-		if d := vec.L2Sq(v, centroids.Row(c)); d < bestD {
-			best, bestD = c, d
+	for lo := 0; lo < k; lo += scoreChunk {
+		n := k - lo
+		if n > scoreChunk {
+			n = scoreChunk
+		}
+		vec.L2SqBatch(v, raw[lo*dim:(lo+n)*dim], buf[:n])
+		for i := 0; i < n; i++ {
+			if buf[i] < bestD {
+				best, bestD = lo+i, buf[i]
+			}
 		}
 	}
 	return best
@@ -195,9 +229,19 @@ func NearestN(centroids *vec.Matrix, v []float32, n int) []int {
 		c int
 		d float32
 	}
+	var buf [scoreChunk]float32
+	raw := centroids.Raw()
+	dim := centroids.Dim
 	all := make([]cd, k)
-	for c := 0; c < k; c++ {
-		all[c] = cd{c, vec.L2Sq(v, centroids.Row(c))}
+	for lo := 0; lo < k; lo += scoreChunk {
+		cn := k - lo
+		if cn > scoreChunk {
+			cn = scoreChunk
+		}
+		vec.L2SqBatch(v, raw[lo*dim:(lo+cn)*dim], buf[:cn])
+		for i := 0; i < cn; i++ {
+			all[lo+i] = cd{lo + i, buf[i]}
+		}
 	}
 	// Partial selection sort: n is small (nprobe).
 	for i := 0; i < n; i++ {

@@ -108,17 +108,30 @@ type Table []float32
 // distance. (Cosine queries must be normalised first; squared Euclidean on
 // normalised vectors ranks identically to cosine distance.)
 func (q *Quantizer) BuildTable(query []float32) Table {
+	return q.BuildTableInto(query, nil)
+}
+
+// BuildTableInto computes the ADC table for query into t, reusing t's
+// storage when its capacity suffices (the zero-allocation form of
+// BuildTable). Each codebook is one contiguous centroid matrix, so the
+// 256 sub-distances per sub-space are scored with one batch-kernel call;
+// every entry is bit-identical to the per-centroid scalar loop. Entries past
+// ksub (under-trained codebooks) are never read — code bytes always index a
+// trained centroid — so stale values there are harmless.
+func (q *Quantizer) BuildTableInto(query []float32, t Table) Table {
 	if len(query) != q.dim {
 		panic(fmt.Sprintf("pq: table dim %d, want %d", len(query), q.dim))
 	}
-	t := make(Table, q.m*centroidsPerSub)
+	need := q.m * centroidsPerSub
+	if cap(t) < need {
+		t = make(Table, need)
+	}
+	t = t[:need]
 	for s := 0; s < q.m; s++ {
 		sub := query[s*q.subDim : (s+1)*q.subDim]
 		cb := q.codebooks[s]
 		base := s * centroidsPerSub
-		for c := 0; c < q.ksub; c++ {
-			t[base+c] = vec.L2Sq(sub, cb.Row(c))
-		}
+		vec.L2SqBatch(sub, cb.Raw(), t[base:base+q.ksub])
 	}
 	return t
 }

@@ -77,6 +77,58 @@ func (qs QueryScorer) Dist(i int) float32 {
 	}
 }
 
+// DistBatch writes the metric distance from the query to each listed row
+// into out (len(out) must equal len(ids)). Every out[i] is bit-identical to
+// Dist(ids[i]); rows are gathered four at a time through the vec batch
+// kernels, which amortise the query loads and (on amd64) run in SSE.
+func (qs QueryScorer) DistBatch(ids []int32, out []float32) {
+	if len(ids) != len(out) {
+		panic("index: DistBatch ids/out length mismatch")
+	}
+	d := qs.s.data
+	n := len(ids)
+	i := 0
+	switch qs.s.metric {
+	case vec.L2:
+		for ; i+4 <= n; i += 4 {
+			out[i], out[i+1], out[i+2], out[i+3] = vec.L2Sq4(qs.q,
+				d.Row(int(ids[i])), d.Row(int(ids[i+1])), d.Row(int(ids[i+2])), d.Row(int(ids[i+3])))
+		}
+		for ; i < n; i++ {
+			out[i] = vec.L2Sq(qs.q, d.Row(int(ids[i])))
+		}
+	case vec.IP:
+		for ; i+4 <= n; i += 4 {
+			out[i], out[i+1], out[i+2], out[i+3] = vec.Dot4(qs.q,
+				d.Row(int(ids[i])), d.Row(int(ids[i+1])), d.Row(int(ids[i+2])), d.Row(int(ids[i+3])))
+		}
+		for ; i < n; i++ {
+			out[i] = vec.Dot(qs.q, d.Row(int(ids[i])))
+		}
+		for j := 0; j < n; j++ {
+			out[j] = -out[j]
+		}
+	case vec.Cosine:
+		for ; i+4 <= n; i += 4 {
+			out[i], out[i+1], out[i+2], out[i+3] = vec.Dot4(qs.q,
+				d.Row(int(ids[i])), d.Row(int(ids[i+1])), d.Row(int(ids[i+2])), d.Row(int(ids[i+3])))
+		}
+		for ; i < n; i++ {
+			out[i] = vec.Dot(qs.q, d.Row(int(ids[i])))
+		}
+		for j := 0; j < n; j++ {
+			rn := qs.s.norms[ids[j]]
+			if qs.qnorm == 0 || rn == 0 {
+				out[j] = 1
+				continue
+			}
+			out[j] = 1 - out[j]/(qs.qnorm*rn)
+		}
+	default:
+		panic("index: unknown metric")
+	}
+}
+
 // RowDist returns the metric distance between two stored rows, using cached
 // norms where available.
 func (s *Scorer) RowDist(i, j int) float32 {

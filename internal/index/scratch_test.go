@@ -1,0 +1,114 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEpochSetBasics(t *testing.T) {
+	var s EpochSet
+	s.Begin(8)
+	for id := int32(0); id < 8; id++ {
+		if s.Contains(id) {
+			t.Fatalf("fresh set contains %d", id)
+		}
+	}
+	s.Add(3)
+	s.Add(7)
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Fatal("membership wrong after Add")
+	}
+	s.Remove(3)
+	if s.Contains(3) || !s.Contains(7) {
+		t.Fatal("membership wrong after Remove")
+	}
+	// A new epoch clears without touching storage.
+	s.Begin(8)
+	if s.Contains(7) {
+		t.Fatal("stale membership survived Begin")
+	}
+	// Begin grows on demand.
+	s.Begin(32)
+	s.Add(31)
+	if !s.Contains(31) {
+		t.Fatal("grown set lost membership")
+	}
+}
+
+func TestEpochSetWraparound(t *testing.T) {
+	var s EpochSet
+	s.Begin(4)
+	s.Add(1)
+	s.epoch = math.MaxUint32 // force the next Begin to wrap
+	for i := range s.stamps {
+		s.stamps[i] = math.MaxUint32 // worst case: every stamp matches
+	}
+	s.Begin(4)
+	for id := int32(0); id < 4; id++ {
+		if s.Contains(id) {
+			t.Fatalf("wraparound left %d marked", id)
+		}
+	}
+	s.Add(2)
+	if !s.Contains(2) {
+		t.Fatal("post-wrap Add lost")
+	}
+	s.Remove(2)
+	if s.Contains(2) {
+		t.Fatal("post-wrap Remove kept membership")
+	}
+}
+
+func TestDrainAscendingMatchesSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(40)
+		var a, b MaxHeap
+		for i := 0; i < n; i++ {
+			nb := Neighbor{ID: int32(i), Dist: float32(r.Intn(10))}
+			a.Push(nb)
+			b.Push(nb)
+		}
+		want := a.SortedAscending()
+		scratch := make([]Neighbor, 0, 4)
+		got := b.DrainAscending(scratch[:0])
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: element %d: %+v vs %+v", trial, i, want[i], got[i])
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatalf("trial %d: heap not drained", trial)
+		}
+	}
+}
+
+func TestResultIntoSemantics(t *testing.T) {
+	ns := []Neighbor{{ID: 5, Dist: 0.1}, {ID: 2, Dist: 0.2}, {ID: 9, Dist: 0.3}}
+	var dst Result
+	ResultInto(ns, 2, Stats{DistComps: 7}, &dst)
+	if !reflect.DeepEqual(dst.IDs, []int32{5, 2}) || dst.Stats.DistComps != 7 {
+		t.Fatalf("unexpected result %+v", dst)
+	}
+	// Reuse must not allocate fresh buffers: same backing array.
+	before := &dst.IDs[0]
+	ResultInto(ns, 2, Stats{}, &dst)
+	if &dst.IDs[0] != before {
+		t.Fatal("ResultInto reallocated a sufficient buffer")
+	}
+	// k == 0 still yields non-nil slices, matching ResultFromNeighbors.
+	var empty Result
+	ResultInto(nil, 0, Stats{}, &empty)
+	if empty.IDs == nil || empty.Dists == nil {
+		t.Fatal("k=0 result has nil slices")
+	}
+	ref := ResultFromNeighbors(nil, 0, Stats{})
+	if (ref.IDs == nil) != (empty.IDs == nil) || len(ref.IDs) != len(empty.IDs) {
+		t.Fatal("ResultInto and ResultFromNeighbors disagree at k=0")
+	}
+}

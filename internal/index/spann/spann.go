@@ -287,6 +287,19 @@ func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bo
 // NProbe closest posting lists from storage (each one a contiguous
 // multi-page request), and scan them with full-precision distances.
 func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Result {
+	var r index.Result
+	ix.SearchInto(q, k, opts, &r)
+	return r
+}
+
+// SearchInto implements index.SearcherInto: the probe sequence of Search
+// writing into a caller-owned Result. The navigator shares the scratch (its
+// fields are fully consumed before the posting scan reuses them), posting
+// rows are batch-scored, and the dedup/in-flight maps become epoch sets, so
+// with a reused scratch and dst the steady-state path (no recorder, no
+// posting cache) performs no allocations per query. Results, Stats and the
+// recorded execution are byte-identical to the allocating implementation.
+func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	nprobe := opts.NProbe
 	if nprobe <= 0 {
 		nprobe = 4
@@ -297,16 +310,19 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	rec := opts.Recorder
 	stats := index.Stats{}
 	cache := ix.nodeCacheFor(opts)
+	scr := index.ScratchFor(opts)
 
 	// In-memory centroid navigation (its compute is charged through the
 	// navigator's own recorder into ours).
-	navOpts := index.SearchOptions{EfSearch: nprobe * 2, Recorder: rec}
-	nav := ix.navigator.Search(q, nprobe, navOpts)
+	navOpts := index.SearchOptions{EfSearch: nprobe * 2, Recorder: rec, Scratch: scr}
+	ix.navigator.SearchInto(q, nprobe, navOpts, &scr.Nav)
+	nav := &scr.Nav
 	stats.DistComps += nav.Stats.DistComps
 	stats.Hops += nav.Stats.Hops
 
 	qs := ix.scorer.Query(q)
-	var heap index.MaxHeap
+	heap := &scr.Bounded
+	heap.Reset()
 	// Look-ahead: the probe order is fully known after navigation, so the
 	// search can issue posting j+1..j+la's contiguous reads alongside probe
 	// j's demand read — they complete in the background while probe j's
@@ -315,25 +331,28 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 	// and charges no CPU, keeping the demand execution byte-identical to
 	// LookAhead==0.
 	la := opts.LookAhead
-	var inFlight map[int32]bool
+	var inFlight *index.EpochSet
 	nextPF := 1
 	if la > 0 {
-		inFlight = map[int32]bool{}
+		inFlight = &scr.InFlight
+		inFlight.Begin(len(ix.postings))
 	}
 	// Replication surfaces the same row through several postings; score
 	// each row once so copies cannot crowd distinct ids out of the top-k.
-	scored := make(map[int32]bool, nprobe*ix.cfg.PostingSize)
+	// (The navigator is done with scr.Visited; a new epoch repurposes it.)
+	scored := &scr.Visited
+	scored.Begin(ix.data.Len())
 	for j, c := range nav.IDs {
 		if la > 0 {
 			for ; nextPF < len(nav.IDs) && nextPF <= j+la; nextPF++ {
 				pc := nav.IDs[nextPF]
-				if ix.pages == nil || len(ix.pages[pc]) == 0 || inFlight[pc] {
+				if ix.pages == nil || len(ix.pages[pc]) == 0 || inFlight.Contains(pc) {
 					continue
 				}
 				if cache != nil && cache.Contains(pc) {
 					continue
 				}
-				inFlight[pc] = true
+				inFlight.Add(pc)
 				stats.PrefetchPages += len(ix.pages[pc])
 				rec.AddPrefetch(index.PrefetchRun{Pages: ix.pages[pc], Contiguous: true})
 			}
@@ -347,35 +366,46 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 				rec.AddCPU(cache.HitCost(len(ix.pages[c])))
 				rec.AddCacheHit(len(ix.pages[c]))
 			} else {
-				if inFlight[c] {
+				if la > 0 && inFlight.Contains(c) {
 					// A look-ahead already issued this posting's read;
 					// the demand joins it at replay. Demand accounting
 					// is invariant under look-ahead.
 					stats.PrefetchUsed += len(ix.pages[c])
-					delete(inFlight, c)
+					inFlight.Remove(c)
 				}
 				// One posting probe = one contiguous multi-page read.
 				rec.AddContiguousIO(ix.pages[c])
 				stats.PagesRead += len(ix.pages[c])
 			}
 		}
+		// Gather the rows this probe actually scores (unseen and unfiltered),
+		// batch-score them, then push in gathered order — the same distances
+		// and heap-operation sequence as per-row scoring.
+		scr.IDs = scr.IDs[:0]
 		for _, row := range list {
-			if scored[row] {
+			if scored.Contains(row) {
 				continue
 			}
-			scored[row] = true
-			id := ix.extID(row)
-			if opts.Filter != nil && !opts.Filter(id) {
+			scored.Add(row)
+			if opts.Filter != nil && !opts.Filter(ix.extID(row)) {
 				continue
 			}
-			d := qs.Dist(int(row))
+			scr.IDs = append(scr.IDs, row)
+		}
+		if cap(scr.Dists) < len(scr.IDs) {
+			scr.Dists = make([]float32, len(scr.IDs))
+		}
+		dists := scr.Dists[:len(scr.IDs)]
+		qs.DistBatch(scr.IDs, dists)
+		for i, row := range scr.IDs {
 			stats.DistComps++
-			heap.PushBounded(index.Neighbor{ID: id, Dist: d}, k)
+			heap.PushBounded(index.Neighbor{ID: ix.extID(row), Dist: dists[i]}, k)
 		}
 		rec.AddCPU(ix.cost.Dist(ix.data.Dim, len(list)) + ix.cost.Heap(len(list)))
 	}
 	rec.Flush()
-	return index.ResultFromNeighbors(heap.SortedAscending(), k, stats)
+	scr.Neighbors = heap.DrainAscending(scr.Neighbors[:0])
+	index.ResultInto(scr.Neighbors, k, stats, dst)
 }
 
 func (ix *Index) extID(row int32) int32 {
@@ -396,4 +426,5 @@ func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, op
 
 var _ index.Index = (*Index)(nil)
 var _ index.Searcher = (*Index)(nil)
+var _ index.SearcherInto = (*Index)(nil)
 var _ index.SizeReporter = (*Index)(nil)

@@ -1,0 +1,115 @@
+package vec
+
+import "fmt"
+
+// Batch scoring API: score one query against many rows per call. On amd64
+// the 4-row kernels are SSE assembly (see kernels_amd64.s); elsewhere they
+// are the interleaved pure-Go kernels in kernels.go. Either way every
+// per-row result is bit-identical to the corresponding scalar call
+// (Dot/L2Sq/Distance) — batch scoring may change speed, never floats — so
+// callers are free to batch anywhere, including build paths and recorded
+// executions, without perturbing golden files or pre-built index assets.
+
+// Dot4 returns the four dot products of q against r0..r3, each bit-identical
+// to Dot(q, r_i). All five slices must have equal length.
+func Dot4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	check4(len(q), len(r0), len(r1), len(r2), len(r3))
+	return dot4(q, r0, r1, r2, r3)
+}
+
+// L2Sq4 returns the four squared Euclidean distances of q against r0..r3,
+// each bit-identical to L2Sq(q, r_i). All five slices must have equal length.
+func L2Sq4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	check4(len(q), len(r0), len(r1), len(r2), len(r3))
+	return l2sq4(q, r0, r1, r2, r3)
+}
+
+func check4(n, n0, n1, n2, n3 int) {
+	if n0 != n || n1 != n || n2 != n || n3 != n {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d/%d/%d/%d", n, n0, n1, n2, n3))
+	}
+}
+
+// DotBatch writes Dot(q, row_i) into out[i] for the len(out) rows packed
+// row-major in rows (len(rows) must be len(out)*len(q)). Each out[i] is
+// bit-identical to the scalar call.
+func DotBatch(q, rows []float32, out []float32) {
+	d, n := len(q), len(out)
+	if len(rows) != n*d {
+		panic(fmt.Sprintf("vec: rows length %d, want %d rows x dim %d", len(rows), n, d))
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		b := i * d
+		out[i], out[i+1], out[i+2], out[i+3] = dot4(q,
+			rows[b:b+d:b+d], rows[b+d:b+2*d:b+2*d],
+			rows[b+2*d:b+3*d:b+3*d], rows[b+3*d:b+4*d:b+4*d])
+	}
+	for ; i < n; i++ {
+		out[i] = dotGo(q, rows[i*d:(i+1)*d:(i+1)*d])
+	}
+}
+
+// L2SqBatch writes L2Sq(q, row_i) into out[i] for the len(out) rows packed
+// row-major in rows (len(rows) must be len(out)*len(q)). Each out[i] is
+// bit-identical to the scalar call.
+func L2SqBatch(q, rows []float32, out []float32) {
+	d, n := len(q), len(out)
+	if len(rows) != n*d {
+		panic(fmt.Sprintf("vec: rows length %d, want %d rows x dim %d", len(rows), n, d))
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		b := i * d
+		out[i], out[i+1], out[i+2], out[i+3] = l2sq4(q,
+			rows[b:b+d:b+d], rows[b+d:b+2*d:b+2*d],
+			rows[b+2*d:b+3*d:b+3*d], rows[b+3*d:b+4*d:b+4*d])
+	}
+	for ; i < n; i++ {
+		out[i] = l2sqGo(q, rows[i*d:(i+1)*d:(i+1)*d])
+	}
+}
+
+// DistanceBatch writes Distance(m, q, row_i) into out[i] for the len(out)
+// rows packed row-major in rows. Each out[i] is bit-identical to the scalar
+// call; for Cosine, Norm(q) is computed once (it is a pure function of q, so
+// reusing it is still bit-identical to the per-pair scalar path).
+func DistanceBatch(m Metric, q, rows []float32, out []float32) {
+	switch m {
+	case L2:
+		L2SqBatch(q, rows, out)
+	case IP:
+		DotBatch(q, rows, out)
+		for i := range out {
+			out[i] = -out[i]
+		}
+	case Cosine:
+		cosineDistanceBatch(q, rows, out)
+	default:
+		panic("vec: unknown metric")
+	}
+}
+
+func cosineDistanceBatch(q, rows []float32, out []float32) {
+	d, n := len(q), len(out)
+	if len(rows) != n*d {
+		panic(fmt.Sprintf("vec: rows length %d, want %d rows x dim %d", len(rows), n, d))
+	}
+	qn := Norm(q)
+	if qn == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return
+	}
+	DotBatch(q, rows, out)
+	for i := 0; i < n; i++ {
+		row := rows[i*d : (i+1)*d : (i+1)*d]
+		rn := Norm(row)
+		if rn == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = 1 - out[i]/(qn*rn)
+	}
+}

@@ -1,0 +1,46 @@
+//go:build amd64
+
+package vec
+
+// The SSE kernels process the n&^3 prefix; the wrappers below fold the
+// remainder elements in afterwards, matching the scalar kernels' order
+// (remainder added one at a time after the ((s0+s1)+s2)+s3 reduction).
+
+func dot4SSE(q, r0, r1, r2, r3 *float32, n int) (d0, d1, d2, d3 float32)
+func l2sq4SSE(q, r0, r1, r2, r3 *float32, n int) (d0, d1, d2, d3 float32)
+
+func dot4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	n := len(q)
+	if n < 4 {
+		return dot4Go(q, r0, r1, r2, r3)
+	}
+	_, _, _, _ = r0[n-1], r1[n-1], r2[n-1], r3[n-1]
+	d0, d1, d2, d3 = dot4SSE(&q[0], &r0[0], &r1[0], &r2[0], &r3[0], n)
+	for i := n &^ 3; i < n; i++ {
+		d0 += q[i] * r0[i]
+		d1 += q[i] * r1[i]
+		d2 += q[i] * r2[i]
+		d3 += q[i] * r3[i]
+	}
+	return d0, d1, d2, d3
+}
+
+func l2sq4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	n := len(q)
+	if n < 4 {
+		return l2sq4Go(q, r0, r1, r2, r3)
+	}
+	_, _, _, _ = r0[n-1], r1[n-1], r2[n-1], r3[n-1]
+	d0, d1, d2, d3 = l2sq4SSE(&q[0], &r0[0], &r1[0], &r2[0], &r3[0], n)
+	for i := n &^ 3; i < n; i++ {
+		t := q[i] - r0[i]
+		d0 += t * t
+		t = q[i] - r1[i]
+		d1 += t * t
+		t = q[i] - r2[i]
+		d2 += t * t
+		t = q[i] - r3[i]
+		d3 += t * t
+	}
+	return d0, d1, d2, d3
+}

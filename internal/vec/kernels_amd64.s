@@ -1,0 +1,185 @@
+#include "textflag.h"
+
+// SSE batch kernels: score one query against four rows in a single pass.
+//
+// Bit-identity with the scalar kernels is by construction, not by luck. The
+// scalar path keeps four partial accumulators s0..s3 (s_j sums elements
+// j, j+4, j+8, ...) and reduces them as ((s0+s1)+s2)+s3. Here each row gets
+// one XMM accumulator whose lane j plays the role of s_j: MULPS/ADDPS are
+// IEEE-exact per lane, so after the loop lane j holds exactly the scalar
+// s_j, and the SHUFPS/ADDSS ladder below reduces the lanes in exactly the
+// scalar order. Remainder elements (n%4) are added by the Go wrapper after
+// the reduction, again matching the scalar order. Any change here must keep
+// that order — the property tests in batch_test.go compare with exact !=.
+
+// func dot4SSE(q, r0, r1, r2, r3 *float32, n int) (d0, d1, d2, d3 float32)
+TEXT ·dot4SSE(SB), NOSPLIT, $0-64
+	MOVQ q+0(FP), AX
+	MOVQ r0+8(FP), BX
+	MOVQ r1+16(FP), CX
+	MOVQ r2+24(FP), DX
+	MOVQ r3+32(FP), SI
+	MOVQ n+40(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	SHRQ  $2, DI
+	JZ    reduce
+loop:
+	MOVUPS (AX), X4
+	MOVUPS (BX), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS (CX), X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+	MOVUPS (DX), X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+	MOVUPS (SI), X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+	ADDQ   $16, AX
+	ADDQ   $16, BX
+	ADDQ   $16, CX
+	ADDQ   $16, DX
+	ADDQ   $16, SI
+	DECQ   DI
+	JNZ    loop
+reduce:
+	// lane-ordered reduction ((s0+s1)+s2)+s3 for each accumulator
+	MOVAPS X0, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X0
+	MOVAPS X0, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X0
+	MOVAPS X0, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X0
+	MOVSS  X0, d0+48(FP)
+
+	MOVAPS X1, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X1
+	MOVAPS X1, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X1
+	MOVAPS X1, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X1
+	MOVSS  X1, d1+52(FP)
+
+	MOVAPS X2, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X2
+	MOVAPS X2, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X2
+	MOVAPS X2, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X2
+	MOVSS  X2, d2+56(FP)
+
+	MOVAPS X3, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X3
+	MOVAPS X3, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X3
+	MOVAPS X3, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X3
+	MOVSS  X3, d3+60(FP)
+	RET
+
+// func l2sq4SSE(q, r0, r1, r2, r3 *float32, n int) (d0, d1, d2, d3 float32)
+//
+// Computes (row-q) rather than (q-row) per element: negation is exact and
+// the difference is immediately squared, so the result is bit-identical to
+// the scalar (q-row)^2 accumulation.
+TEXT ·l2sq4SSE(SB), NOSPLIT, $0-64
+	MOVQ q+0(FP), AX
+	MOVQ r0+8(FP), BX
+	MOVQ r1+16(FP), CX
+	MOVQ r2+24(FP), DX
+	MOVQ r3+32(FP), SI
+	MOVQ n+40(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	SHRQ  $2, DI
+	JZ    reduce
+loop:
+	MOVUPS (AX), X4
+	MOVUPS (BX), X5
+	SUBPS  X4, X5
+	MULPS  X5, X5
+	ADDPS  X5, X0
+	MOVUPS (CX), X6
+	SUBPS  X4, X6
+	MULPS  X6, X6
+	ADDPS  X6, X1
+	MOVUPS (DX), X7
+	SUBPS  X4, X7
+	MULPS  X7, X7
+	ADDPS  X7, X2
+	MOVUPS (SI), X8
+	SUBPS  X4, X8
+	MULPS  X8, X8
+	ADDPS  X8, X3
+	ADDQ   $16, AX
+	ADDQ   $16, BX
+	ADDQ   $16, CX
+	ADDQ   $16, DX
+	ADDQ   $16, SI
+	DECQ   DI
+	JNZ    loop
+reduce:
+	// lane-ordered reduction ((s0+s1)+s2)+s3 for each accumulator
+	MOVAPS X0, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X0
+	MOVAPS X0, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X0
+	MOVAPS X0, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X0
+	MOVSS  X0, d0+48(FP)
+
+	MOVAPS X1, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X1
+	MOVAPS X1, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X1
+	MOVAPS X1, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X1
+	MOVSS  X1, d1+52(FP)
+
+	MOVAPS X2, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X2
+	MOVAPS X2, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X2
+	MOVAPS X2, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X2
+	MOVSS  X2, d2+56(FP)
+
+	MOVAPS X3, X9
+	SHUFPS $0x01, X9, X9
+	ADDSS  X9, X3
+	MOVAPS X3, X9
+	SHUFPS $0x02, X9, X9
+	ADDSS  X9, X3
+	MOVAPS X3, X9
+	SHUFPS $0x03, X9, X9
+	ADDSS  X9, X3
+	MOVSS  X3, d3+60(FP)
+	RET

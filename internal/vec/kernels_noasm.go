@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vec
+
+func dot4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	return dot4Go(q, r0, r1, r2, r3)
+}
+
+func l2sq4(q, r0, r1, r2, r3 []float32) (d0, d1, d2, d3 float32) {
+	return l2sq4Go(q, r0, r1, r2, r3)
+}

@@ -1,9 +1,10 @@
 // Package vec provides the float32 vector kernels used throughout the
 // benchmark: dot products, squared Euclidean distance, cosine similarity,
-// and normalisation. The inner loops are written with 4-way manual unrolling,
-// which the Go compiler turns into reasonably tight code; the simulated CPU
-// cost model (internal/sim) charges virtual time per dimension independently
-// of the host's real speed.
+// and normalisation, plus batch variants (batch.go) that score one query
+// against many rows per call — SSE assembly on amd64, interleaved pure Go
+// elsewhere, bit-identical to the scalar path either way (see kernels.go for
+// the reduction-order contract). The simulated CPU cost model (internal/sim)
+// charges virtual time per dimension independently of the host's real speed.
 package vec
 
 import (
@@ -57,19 +58,7 @@ func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
+	return dotGo(a, b)
 }
 
 // L2Sq returns the squared Euclidean distance between a and b.
@@ -77,38 +66,29 @@ func L2Sq(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return l2sqGo(a, b)
 }
 
 // Norm returns the Euclidean norm of a.
 func Norm(a []float32) float32 {
-	return float32(math.Sqrt(float64(Dot(a, a))))
+	return float32(math.Sqrt(float64(dotGo(a, a))))
 }
 
 // CosineDistance returns 1 - cos(a, b). Zero vectors yield distance 1.
+// All three accumulations (a·b, a·a, b·b) happen in one fused pass over the
+// data; each follows the standard reduction order, so the result is
+// bit-identical to computing Dot(a, b), Norm(a) and Norm(b) separately.
 func CosineDistance(a, b []float32) float32 {
-	na, nb := Norm(a), Norm(b)
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: length mismatch %d vs %d", len(a), len(b)))
+	}
+	ab, aa, bb := dotFused3Go(a, b)
+	na := float32(math.Sqrt(float64(aa)))
+	nb := float32(math.Sqrt(float64(bb)))
 	if na == 0 || nb == 0 {
 		return 1
 	}
-	return 1 - Dot(a, b)/(na*nb)
+	return 1 - ab/(na*nb)
 }
 
 // Normalize scales a to unit length in place. Zero vectors are unchanged.
