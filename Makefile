@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench bench-pipeline bench-host fuzz
+.PHONY: all build test race vet lint lint-fast lint-deep check bench bench-pipeline bench-host fuzz
 
 all: build
 
@@ -24,11 +24,20 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static analysis: wallclock, seededrand, mapiter, errwrap,
-# ctxprop, floatcmp (see DESIGN.md "Static analysis & determinism
-# conventions" and `go run ./cmd/annlint -list`).
+# Domain-specific static analysis (see DESIGN.md "Static analysis &
+# determinism conventions" and `go run ./cmd/annlint -list`). `lint` runs the
+# full suite; `lint-fast` runs only the single-pass AST analyzers (wallclock,
+# seededrand, mapiter, errwrap, ctxprop, floatcmp, detmerge) and `lint-deep`
+# only the fact-based cross-package analyzers (hotalloc, scratchalias,
+# goroleak).
 lint:
 	$(GO) run ./cmd/annlint ./...
+
+lint-fast:
+	$(GO) run ./cmd/annlint -fast ./...
+
+lint-deep:
+	$(GO) run ./cmd/annlint -deep ./...
 
 check: vet lint build race
 

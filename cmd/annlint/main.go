@@ -1,14 +1,18 @@
 // Command annlint runs the repo's domain-specific static analyzers — the
-// determinism, seeding, and error-hygiene invariants the compiler cannot
-// check (see internal/analysis and DESIGN.md "Static analysis & determinism
-// conventions").
+// determinism, seeding, error-hygiene, and hot-path/concurrency invariants
+// the compiler cannot check (see internal/analysis and DESIGN.md "Static
+// analysis & determinism conventions").
 //
 // Usage:
 //
-//	annlint [-list] [packages]
+//	annlint [-list] [-fast | -deep] [-suppressions] [packages]
 //
-// With no arguments it lints ./... . Exit codes: 0 clean, 1 diagnostics
-// found, 2 usage or load failure.
+// With no arguments it lints ./... with the full suite. -fast runs only the
+// single-pass AST analyzers; -deep runs only the fact-based multi-pass
+// analyzers (cross-package function summaries). -suppressions lists every
+// active //annlint:allow directive with file:line and justification, for
+// audit, and exits 0. Exit codes: 0 clean, 1 diagnostics found, 2 usage or
+// load failure.
 package main
 
 import (
@@ -34,11 +38,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("annlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	fast := fs.Bool("fast", false, "run only the single-pass AST analyzers")
+	deep := fs.Bool("deep", false, "run only the fact-based multi-pass analyzers")
+	suppressions := fs.Bool("suppressions", false, "list active //annlint:allow directives and exit")
 	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+	if *fast && *deep {
+		fmt.Fprintln(stderr, "annlint: -fast and -deep are mutually exclusive")
 		return exitError
 	}
 
 	analyzers := analysis.All()
+	switch {
+	case *fast:
+		analyzers = analysis.Fast()
+	case *deep:
+		analyzers = analysis.Deep()
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
@@ -57,15 +74,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitError
 	}
 
+	if *suppressions {
+		n := 0
+		for _, pkg := range pkgs {
+			if pkg.FactsOnly {
+				continue
+			}
+			for _, s := range analysis.ListSuppressions(pkg, analysis.All()) {
+				fmt.Fprintf(stdout, "%s:%d: allow %s -- %s\n", s.Pos.Filename, s.Pos.Line, s.Analyzer, s.Justification)
+				n++
+			}
+		}
+		fmt.Fprintf(stderr, "annlint: %d active suppression(s)\n", n)
+		return exitClean
+	}
+
 	found := 0
+	reported := 0
 	for _, pkg := range pkgs {
-		for _, d := range analysis.Lint(pkg, analyzers) {
-			fmt.Fprintln(stdout, d)
-			found++
+		if !pkg.FactsOnly {
+			reported++
 		}
 	}
+	for _, d := range analysis.LintPackages(pkgs, analyzers) {
+		fmt.Fprintln(stdout, d)
+		found++
+	}
 	if found > 0 {
-		fmt.Fprintf(stderr, "annlint: %d problem(s) in %d package(s)\n", found, len(pkgs))
+		fmt.Fprintf(stderr, "annlint: %d problem(s) in %d package(s)\n", found, reported)
 		return exitDiags
 	}
 	return exitClean

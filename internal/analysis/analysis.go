@@ -50,6 +50,13 @@ type Analyzer struct {
 	// even with a justification.
 	NoSuppress func(pkgPath string) bool
 
+	// FactBased marks analyzers that export function summaries consumed
+	// by later passes over importing packages. LintPackages runs them
+	// over every loaded package in dependency order — including packages
+	// their Match rejects and FactsOnly dependencies, where they compute
+	// facts without reporting.
+	FactBased bool
+
 	// Run inspects the package and reports diagnostics through the pass.
 	Run func(*Pass)
 }
@@ -59,16 +66,38 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	// Facts is the run-wide fact store shared by every pass of a
+	// fact-based analyzer. Nil for plain AST analyzers.
+	Facts *Facts
+
+	// Reporting is false when this pass exists only to compute facts
+	// (FactsOnly dependency, or a package the analyzer's Match rejects
+	// in a multi-package run). Reportf is a no-op then.
+	Reporting bool
+
+	sup   *suppressions
 	diags []Diagnostic
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if !p.Reporting {
+		return
+	}
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Suppressed reports whether an //annlint:allow directive for this pass's
+// analyzer covers pos. Fact computation consults it so a deliberately
+// allowed site also drops out of the function's exported summary — without
+// this, a suppressed allocation would re-surface as a diagnostic at every
+// cross-package caller.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	return p.sup != nil && p.sup.allowed(p.Analyzer.Name, p.Pkg.Fset.Position(pos))
 }
 
 // A Diagnostic is one finding, resolved to a file position.
@@ -82,7 +111,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// All returns the full annlint suite in stable order.
+// All returns the full annlint suite in stable order: the six single-pass
+// AST analyzers from PR 2, then the four fact-based concurrency/hot-path
+// analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Wallclock,
@@ -91,7 +122,33 @@ func All() []*Analyzer {
 		ErrWrap,
 		CtxProp,
 		FloatCmp,
+		Hotalloc,
+		ScratchAlias,
+		GoroLeak,
+		DetMerge,
 	}
+}
+
+// Fast returns only the single-pass AST analyzers (make lint-fast).
+func Fast() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		if !a.FactBased {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Deep returns only the fact-based multi-pass analyzers (make lint-deep).
+func Deep() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		if a.FactBased {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // byName maps analyzer names for directive validation.
@@ -103,34 +160,71 @@ func byName(analyzers []*Analyzer) map[string]*Analyzer {
 	return m
 }
 
-// Lint runs every matching analyzer over pkg, applies the //annlint:allow
-// suppression directives, and returns the surviving diagnostics sorted by
-// position. Malformed or refused directives surface as diagnostics of the
-// pseudo-analyzer "annlint".
+// Lint runs every matching analyzer over one package. Kept for single-
+// package callers; fact-based analyzers see only this package's own facts,
+// so cross-package diagnostics need LintPackages.
 func Lint(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	known := byName(analyzers)
-	sup, diags := parseSuppressions(pkg, known)
+	return LintPackages([]*Package{pkg}, analyzers)
+}
 
+// LintPackages is the multi-pass driver: it orders pkgs dependencies-first,
+// runs fact-based analyzers over every package in that order (computing
+// summaries even where Match rejects or the package is FactsOnly) and AST
+// analyzers over the matching non-FactsOnly packages, applies the
+// //annlint:allow suppression directives, and returns the surviving
+// diagnostics sorted by position. Malformed or refused directives surface as
+// diagnostics of the pseudo-analyzer "annlint".
+func LintPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Directives are validated against the full suite, not the subset being
+	// run: an //annlint:allow wallclock must stay well-formed during a
+	// -deep run that doesn't include wallclock.
+	known := byName(append(All(), analyzers...))
+	ordered := topoPackages(pkgs)
+	sups := make(map[*Package]*suppressions, len(ordered))
+	var diags []Diagnostic
+	for _, pkg := range ordered {
+		sup, sdiags := parseSuppressions(pkg, known)
+		sups[pkg] = sup
+		if !pkg.FactsOnly {
+			diags = append(diags, sdiags...)
+		}
+	}
+	facts := NewFacts()
 	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Path) {
-			continue
-		}
-		if a.NoSuppress != nil && a.NoSuppress(pkg.Path) {
-			diags = append(diags, sup.refuse(a.Name, pkg.Path)...)
-		}
-		pass := &Pass{Analyzer: a, Pkg: pkg}
-		a.Run(pass)
-		for _, d := range pass.diags {
-			if a.NoSuppress == nil || !a.NoSuppress(pkg.Path) {
-				if sup.allowed(a.Name, d.Pos) {
-					continue
-				}
+		for _, pkg := range ordered {
+			matched := a.Match == nil || a.Match(pkg.Path)
+			reporting := matched && !pkg.FactsOnly
+			if !reporting && !a.FactBased {
+				continue
 			}
-			diags = append(diags, d)
+			if reporting && a.NoSuppress != nil && a.NoSuppress(pkg.Path) {
+				diags = append(diags, sups[pkg].refuse(a.Name, pkg.Path)...)
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Reporting: reporting, sup: sups[pkg]}
+			if a.FactBased {
+				pass.Facts = facts
+			}
+			a.Run(pass)
+			diags = append(diags, pass.surviving(pkg.Path)...)
 		}
 	}
 	sortDiagnostics(diags)
 	return diags
+}
+
+// surviving filters the pass's diagnostics through the package's allow
+// directives (unless the analyzer refuses suppression for asPath).
+func (p *Pass) surviving(asPath string) []Diagnostic {
+	a := p.Analyzer
+	suppressible := a.NoSuppress == nil || !a.NoSuppress(asPath)
+	var out []Diagnostic
+	for _, d := range p.diags {
+		if suppressible && p.sup != nil && p.sup.allowed(a.Name, d.Pos) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // RunForTest executes a single analyzer over pkg, bypassing Match so
@@ -139,22 +233,38 @@ func Lint(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // //annlint:allow directive works. asPath overrides the package path seen
 // by NoSuppress.
 func RunForTest(pkg *Package, a *Analyzer, asPath string) []Diagnostic {
-	if asPath == "" {
-		asPath = pkg.Path
-	}
-	sup, diags := parseSuppressions(pkg, byName([]*Analyzer{a}))
-	if a.NoSuppress != nil && a.NoSuppress(asPath) {
-		diags = append(diags, sup.refuse(a.Name, asPath)...)
-	}
-	pass := &Pass{Analyzer: a, Pkg: pkg}
-	a.Run(pass)
-	for _, d := range pass.diags {
-		if a.NoSuppress == nil || !a.NoSuppress(asPath) {
-			if sup.allowed(a.Name, d.Pos) {
-				continue
-			}
+	return RunForTestPackages([]*Package{pkg}, a, []string{asPath})
+}
+
+// RunForTestPackages executes one analyzer over a dependency-ordered chain
+// of fixture packages with a shared fact store, so tests can prove a
+// violation that is only visible through an imported package's summary.
+// Every pass reports; asPaths (parallel to pkgs, "" meaning the package's
+// own path) override the path seen by NoSuppress. Diagnostics from all
+// packages are returned together.
+func RunForTestPackages(pkgs []*Package, a *Analyzer, asPaths []string) []Diagnostic {
+	facts := NewFacts()
+	known := byName(append(All(), a))
+	var diags []Diagnostic
+	for i, pkg := range pkgs {
+		asPath := ""
+		if i < len(asPaths) {
+			asPath = asPaths[i]
 		}
-		diags = append(diags, d)
+		if asPath == "" {
+			asPath = pkg.Path
+		}
+		sup, sdiags := parseSuppressions(pkg, known)
+		diags = append(diags, sdiags...)
+		if a.NoSuppress != nil && a.NoSuppress(asPath) {
+			diags = append(diags, sup.refuse(a.Name, asPath)...)
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Reporting: true, sup: sup}
+		if a.FactBased {
+			pass.Facts = facts
+		}
+		a.Run(pass)
+		diags = append(diags, pass.surviving(asPath)...)
 	}
 	sortDiagnostics(diags)
 	return diags

@@ -25,32 +25,56 @@ var sharedLoader = NewLoader("")
 
 func runFixture(t *testing.T, a *Analyzer, fixture, asPath string) {
 	t.Helper()
-	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", fixture), asPath)
-	if err != nil {
-		t.Fatalf("load fixture %s: %v", fixture, err)
+	runFixtureChain(t, a, []fixtureSpec{{fixture, asPath}})
+}
+
+// fixtureSpec names one fixture directory and the package path it is loaded
+// as.
+type fixtureSpec struct {
+	fixture string
+	asPath  string
+}
+
+// runFixtureChain loads a dependency-ordered chain of fixtures (earlier
+// entries may be imported by later ones via their asPath) and runs the
+// analyzer over all of them with a shared fact store, checking want
+// expectations across every package.
+func runFixtureChain(t *testing.T, a *Analyzer, specs []fixtureSpec) {
+	t.Helper()
+	pkgs := make([]*Package, len(specs))
+	asPaths := make([]string, len(specs))
+	for i, s := range specs {
+		pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", s.fixture), s.asPath)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", s.fixture, err)
+		}
+		pkgs[i] = pkg
+		asPaths[i] = s.asPath
 	}
-	got := RunForTest(pkg, a, asPath)
+	got := RunForTestPackages(pkgs, a, asPaths)
 
 	type key struct {
 		file string
 		line int
 	}
 	wants := make(map[key][]*regexp.Regexp)
-	for _, file := range pkg.Files {
-		for _, group := range file.Comments {
-			for _, c := range group.List {
-				idx := strings.Index(c.Text, "// want ")
-				if idx < 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := key{pos.Filename, pos.Line}
-				for _, expr := range parseWantPatterns(t, fixture, pos.Line, c.Text[idx+len("// want "):]) {
-					re, err := regexp.Compile(expr)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", fixture, pos.Line, expr, err)
+	for i, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
 					}
-					wants[k] = append(wants[k], re)
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, expr := range parseWantPatterns(t, specs[i].fixture, pos.Line, c.Text[idx+len("// want "):]) {
+						re, err := regexp.Compile(expr)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", specs[i].fixture, pos.Line, expr, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
 				}
 			}
 		}

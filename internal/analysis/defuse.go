@@ -1,0 +1,613 @@
+package analysis
+
+// defuse.go is the lightweight SSA-ish def-use layer under the fact-based
+// analyzers: a flow-insensitive, intra-function taint engine. Each function
+// parameter (and the receiver) gets an identity bit; expressions evaluate to
+// the union of the bits of the values they can alias; assignment propagates
+// bits through locals to a fixpoint; and a final pass records *escape
+// events* — places where a tainted reference outlives the call: returns,
+// stores reachable from a parameter or package variable, channel sends, and
+// goroutine captures. The events double as the function's exported summary
+// (escapeFact), which is how taint crosses package boundaries: a call to a
+// summarised function propagates the taint of exactly the arguments the
+// callee's summary says flow to its result, and raises an event for the
+// arguments the summary says the callee retains.
+//
+// The engine is deliberately alias-imprecise (one bit per variable, no
+// field sensitivity beyond the root) and resolves only static calls;
+// unknown callees — standard library, interface methods — are assumed to
+// neither retain nor return their arguments. Facts sharpen diagnostics,
+// they never invent them; the dynamic AllocsPerRun/race layer backstops
+// what the summaries cannot see.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Taint bits. Bit 0 is the receiver, bits 1..30 the parameters in order
+// (functions with more parameters share the last bit — imprecise, still
+// sound for a linter), bit 31 seeds injected by the analyzer, e.g.
+// scratch-owned buffers in scratchalias.
+const (
+	taintRecv    uint32 = 1 << 0
+	taintSeed    uint32 = 1 << 31
+	maxTaintBits        = 30
+)
+
+func taintParam(i int) uint32 {
+	if i >= maxTaintBits {
+		i = maxTaintBits - 1
+	}
+	return 1 << uint(i+1)
+}
+
+// escapeKind classifies how a tainted value left the function.
+type escapeKind int
+
+const (
+	escapeReturn escapeKind = iota // returned to the caller
+	escapeStore                    // stored into caller-visible memory
+	escapeSend                     // sent on a channel
+	escapeGo                       // captured or passed by a spawned goroutine
+	escapeCall                     // passed to a callee whose summary retains it
+)
+
+// An escapeEvent is one sink occurrence with the taint bits that reached it.
+type escapeEvent struct {
+	pos  token.Pos
+	bits uint32
+	kind escapeKind
+	desc string
+}
+
+// Per-parameter escape flags of the exported summary.
+const (
+	escReturn uint8 = 1 << iota // flows to a result value
+	escStore                    // retained past the call (store/send/go)
+)
+
+// escapeFact is the cross-package summary of one function: for the receiver
+// and each parameter, whether it escapes via return or via a store, and
+// whether any result value aliases seed-tainted (scratch-owned) memory.
+type escapeFact struct {
+	recv        uint8
+	params      []uint8
+	returnsSeed bool
+}
+
+func (a *escapeFact) equal(b *escapeFact) bool {
+	if b == nil || a.recv != b.recv || a.returnsSeed != b.returnsSeed || len(a.params) != len(b.params) {
+		return false
+	}
+	for i := range a.params {
+		if a.params[i] != b.params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// funcAnalysis is the taint state of one function under analysis.
+type funcAnalysis struct {
+	pass *Pass
+	sig  *types.Signature
+	body *ast.BlockStmt
+
+	// seed injects analyzer-specific taint for an expression (0 = none).
+	seed func(ast.Expr) uint32
+	// lookup resolves a static callee's escape summary (nil = unknown,
+	// assume it neither retains nor returns its arguments).
+	lookup func(*types.Func) *escapeFact
+	// storeOK reports whether a store whose destination is rooted at this
+	// expression is exempt (scratchalias: writing back into the scratch).
+	storeOK func(ast.Expr) bool
+
+	taint   map[types.Object]uint32 // accumulated bits per local/param
+	idBits  map[types.Object]uint32 // identity bit of each param/recv
+	escapes []escapeEvent
+	litEnds [][2]token.Pos // FuncLit ranges, for return classification
+	changed bool
+}
+
+// newFuncAnalysis prepares the engine for one declared function. Returns nil
+// for body-less declarations (assembly stubs).
+func newFuncAnalysis(p *Pass, decl *ast.FuncDecl, seed func(ast.Expr) uint32, lookup func(*types.Func) *escapeFact, storeOK func(ast.Expr) bool) *funcAnalysis {
+	if decl.Body == nil {
+		return nil
+	}
+	fn, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	f := &funcAnalysis{
+		pass:    p,
+		sig:     sig,
+		body:    decl.Body,
+		seed:    seed,
+		lookup:  lookup,
+		storeOK: storeOK,
+		taint:   make(map[types.Object]uint32),
+		idBits:  make(map[types.Object]uint32),
+	}
+	if r := sig.Recv(); r != nil {
+		f.idBits[r] = taintRecv
+		f.taint[r] = taintRecv
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		v := sig.Params().At(i)
+		f.idBits[v] = taintParam(i)
+		f.taint[v] = taintParam(i)
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			f.litEnds = append(f.litEnds, [2]token.Pos{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	return f
+}
+
+// run propagates taint to a fixpoint, then records escape events.
+func (f *funcAnalysis) run() {
+	for i := 0; i < 2*maxTaintBits; i++ { // bits only accumulate; bounded
+		f.changed = false
+		f.walk(false)
+		if !f.changed {
+			break
+		}
+	}
+	f.walk(true)
+}
+
+// fact condenses the recorded events into the exported summary.
+func (f *funcAnalysis) fact() *escapeFact {
+	ef := &escapeFact{params: make([]uint8, f.sig.Params().Len())}
+	for _, ev := range f.escapes {
+		flag := escStore
+		if ev.kind == escapeReturn {
+			flag = escReturn
+			if ev.bits&taintSeed != 0 {
+				ef.returnsSeed = true
+			}
+		}
+		if ev.bits&taintRecv != 0 {
+			ef.recv |= flag
+		}
+		for i := range ef.params {
+			if ev.bits&taintParam(i) != 0 {
+				ef.params[i] |= flag
+			}
+		}
+	}
+	return ef
+}
+
+func (f *funcAnalysis) inLit(pos token.Pos) bool {
+	for _, r := range f.litEnds {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *funcAnalysis) update(obj types.Object, bits uint32) {
+	if obj == nil || bits == 0 {
+		return
+	}
+	if f.taint[obj]&bits != bits {
+		f.taint[obj] |= bits
+		f.changed = true
+	}
+}
+
+func (f *funcAnalysis) event(pos token.Pos, bits uint32, kind escapeKind, desc string) {
+	if bits == 0 {
+		return
+	}
+	f.escapes = append(f.escapes, escapeEvent{pos: pos, bits: bits, kind: kind, desc: desc})
+}
+
+// walk makes one pass over the body: propagation always, sinks when record.
+func (f *funcAnalysis) walk(record bool) {
+	info := f.pass.Pkg.Info
+	ast.Inspect(f.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					f.store(n.Lhs[i], n.Rhs[i], f.exprTaint(n.Rhs[i]), record)
+				}
+			} else if len(n.Rhs) == 1 {
+				bits := f.exprTaint(n.Rhs[0])
+				for _, lhs := range n.Lhs {
+					f.store(lhs, n.Rhs[0], bits, record)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == len(n.Names) {
+				for i, name := range n.Names {
+					f.update(info.Defs[name], f.exprTaint(n.Values[i]))
+				}
+			} else if len(n.Values) == 1 {
+				bits := f.exprTaint(n.Values[0])
+				for _, name := range n.Names {
+					f.update(info.Defs[name], bits)
+				}
+			}
+		case *ast.RangeStmt:
+			bits := f.exprTaint(n.X)
+			if bits != 0 && n.Value != nil {
+				if id, ok := unparen(n.Value).(*ast.Ident); ok && id.Name != "_" {
+					f.update(info.ObjectOf(id), bits)
+				}
+			}
+		case *ast.SendStmt:
+			if record {
+				if t := info.TypeOf(n.Value); t != nil && pointery(t) {
+					f.event(n.Arrow, f.exprTaint(n.Value), escapeSend, "sent on a channel")
+				}
+			}
+		case *ast.ReturnStmt:
+			if record && !f.inLit(n.Pos()) {
+				for _, res := range n.Results {
+					if t := info.TypeOf(res); t != nil && pointery(t) {
+						f.event(n.Pos(), f.exprTaint(res), escapeReturn, "returned to the caller")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			if record {
+				f.goSinks(n)
+			}
+		case *ast.CallExpr:
+			if record {
+				f.callSinks(n)
+			}
+		}
+		return true
+	})
+}
+
+// store handles one assignment of bits into lhs: a plain identifier
+// accumulates the bits; a path rooted at a parameter, receiver, or package
+// variable is an escape; a path rooted at a local taints the local (the
+// container now holds the reference).
+func (f *funcAnalysis) store(lhs, val ast.Expr, bits uint32, record bool) {
+	if bits == 0 {
+		return
+	}
+	info := f.pass.Pkg.Info
+	if id, ok := unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj != nil && isPackageLevel(obj) {
+			if record {
+				f.event(lhs.Pos(), bits, escapeStore, "stored into a package variable")
+			}
+			return
+		}
+		f.update(obj, bits)
+		return
+	}
+	if t := info.TypeOf(val); t == nil || !pointery(t) {
+		return // copying a scalar out of tainted memory is not an alias
+	}
+	root := rootExpr(lhs)
+	if f.storeOK != nil && f.storeOK(root) {
+		return
+	}
+	rid, ok := root.(*ast.Ident)
+	if !ok {
+		if record {
+			f.event(lhs.Pos(), bits, escapeStore, "stored into caller-visible memory")
+		}
+		return
+	}
+	obj := info.ObjectOf(rid)
+	switch {
+	case obj == nil:
+		return
+	case f.idBits[obj] != 0: // rooted at a parameter or the receiver
+		if record {
+			f.event(lhs.Pos(), bits&^f.idBits[obj], escapeStore, "stored into caller-visible memory")
+		}
+	case isPackageLevel(obj):
+		if record {
+			f.event(lhs.Pos(), bits, escapeStore, "stored into a package variable")
+		}
+	default:
+		f.update(obj, bits) // local container now aliases the value
+	}
+}
+
+// goSinks flags tainted references handed to a spawned goroutine, which may
+// still hold them after the spawner's epoch ends.
+func (f *funcAnalysis) goSinks(g *ast.GoStmt) {
+	info := f.pass.Pkg.Info
+	for _, arg := range g.Call.Args {
+		if t := info.TypeOf(arg); t != nil && pointery(t) {
+			f.event(g.Pos(), f.exprTaint(arg), escapeGo, "passed to a goroutine")
+		}
+	}
+	if fl, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		f.event(g.Pos(), f.freeVarTaint(fl), escapeGo, "captured by a goroutine")
+	}
+}
+
+// callSinks raises events for arguments passed to callees whose summary says
+// they retain them.
+func (f *funcAnalysis) callSinks(call *ast.CallExpr) {
+	fn := staticCallee(f.pass.Pkg.Info, call)
+	if fn == nil || f.lookup == nil {
+		return
+	}
+	fact := f.lookup(fn)
+	if fact == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Recv() != nil && fact.recv&escStore != 0 {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			f.event(call.Pos(), f.exprTaint(sel.X), escapeCall,
+				"passed to "+fn.FullName()+" which retains its receiver")
+		}
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= len(fact.params) {
+			pi = len(fact.params) - 1
+		}
+		if pi < 0 || pi >= len(fact.params) || fact.params[pi]&escStore == 0 {
+			continue
+		}
+		f.event(arg.Pos(), f.exprTaint(arg), escapeCall,
+			"passed to "+fn.FullName()+" which retains it")
+	}
+}
+
+// exprTaint evaluates the taint bits an expression's value can alias. A
+// value of a non-pointery type cannot alias anything, whatever it was
+// computed from — copying a scalar out of tainted memory launders it.
+func (f *funcAnalysis) exprTaint(e ast.Expr) uint32 {
+	if e == nil {
+		return 0
+	}
+	info := f.pass.Pkg.Info
+	if t := info.TypeOf(e); t != nil {
+		if _, isTuple := t.(*types.Tuple); !isTuple && !pointery(t) {
+			return 0
+		}
+	}
+	var bits uint32
+	if f.seed != nil {
+		bits = f.seed(e)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			bits |= f.taint[obj]
+		}
+	case *ast.ParenExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.SelectorExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.IndexExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.IndexListExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.SliceExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.StarExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND || e.Op == token.ARROW {
+			bits |= f.exprTaint(e.X)
+		}
+	case *ast.CallExpr:
+		bits |= f.callTaint(e)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			bits |= f.exprTaint(el)
+		}
+	case *ast.TypeAssertExpr:
+		bits |= f.exprTaint(e.X)
+	case *ast.FuncLit:
+		bits |= f.freeVarTaint(e)
+	}
+	return bits
+}
+
+// callTaint evaluates what a call's results can alias: conversions and
+// append pass their operands through; summarised callees pass through
+// exactly the arguments their summary marks escReturn (plus the seed bit
+// when the summary returns seed-tainted memory); unknown callees are
+// assumed to return fresh values.
+func (f *funcAnalysis) callTaint(call *ast.CallExpr) uint32 {
+	info := f.pass.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return f.exprTaint(call.Args[0])
+		}
+		return 0
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				bits := f.exprTaint(call.Args[0])
+				for i, a := range call.Args[1:] {
+					t := info.TypeOf(a)
+					if t == nil || !pointery(t) {
+						continue
+					}
+					// append(dst, src...) copies src's elements: only
+					// pointery elements can smuggle src's backing array
+					// into dst.
+					if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+						if sl, ok := t.Underlying().(*types.Slice); ok && !pointery(sl.Elem()) {
+							continue
+						}
+					}
+					bits |= f.exprTaint(a)
+				}
+				return bits
+			}
+			return 0
+		}
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || f.lookup == nil {
+		return 0
+	}
+	fact := f.lookup(fn)
+	if fact == nil {
+		return 0
+	}
+	var bits uint32
+	if fact.returnsSeed {
+		bits |= taintSeed
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return bits
+	}
+	if sig.Recv() != nil && fact.recv&escReturn != 0 {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			bits |= f.exprTaint(sel.X)
+		}
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= len(fact.params) {
+			pi = len(fact.params) - 1
+		}
+		if pi >= 0 && pi < len(fact.params) && fact.params[pi]&escReturn != 0 {
+			bits |= f.exprTaint(arg)
+		}
+	}
+	return bits
+}
+
+// freeVarTaint unions the taint of every pointer-carrying variable a
+// function literal references from an enclosing scope.
+func (f *funcAnalysis) freeVarTaint(fl *ast.FuncLit) uint32 {
+	info := f.pass.Pkg.Info
+	var bits uint32
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok && v.Pos() < fl.Pos() && pointery(v.Type()) {
+			bits |= f.taint[obj] | f.seedOf(id)
+		}
+		return true
+	})
+	return bits
+}
+
+func (f *funcAnalysis) seedOf(e ast.Expr) uint32 {
+	if f.seed == nil {
+		return 0
+	}
+	return f.seed(e)
+}
+
+// pointery reports whether values of type t carry a reference to memory a
+// holder could alias: pointers, slices, maps, channels, funcs, interfaces,
+// and aggregates containing any of those. Strings are immutable and do not
+// count.
+func pointery(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointery(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return pointery(u.Elem())
+	}
+	return false
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes:
+// package functions, qualified functions, and concrete methods. Interface
+// methods and func-typed values return nil (dynamic dispatch).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil // func-typed field: dynamic
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					return nil // dynamic dispatch
+				}
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // qualified package function
+		}
+	}
+	return nil
+}
+
+// rootExpr peels selectors, indexing, slicing, and dereferences down to the
+// base expression an assignment destination is rooted at.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,92 @@
+package analysis
+
+// detmerge polices the invariant behind byte-identical results at any
+// worker count: concurrent producers write their results by index into a
+// preallocated slice (`out[i] = ...`), and the merge happens after the
+// join, in index order. A goroutine that appends to a slice or writes a map
+// captured from the enclosing scope produces arrival-order results — the
+// classic nondeterministic merge — even when a mutex makes it race-free.
+//
+// The check is syntactic and local: inside a `go func(){...}` body, flag
+// appends to captured slices and writes to captured maps. Index-ordered
+// writes to captured slices are the blessed pattern and stay silent;
+// captured scalars are the race detector's department.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMerge reports arrival-order merges in spawned goroutines.
+var DetMerge = &Analyzer{
+	Name: "detmerge",
+	Doc:  "concurrent results must merge index-ordered, not by shared append or map write",
+	Match: func(pkgPath string) bool {
+		return anyPathPrefix(pkgPath,
+			modulePath+"/internal/core",
+			modulePath+"/internal/vdb",
+			modulePath+"/internal/index")
+	},
+	Run: runDetMerge,
+}
+
+func runDetMerge(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			captured := func(id *ast.Ident) bool {
+				v, ok := info.ObjectOf(id).(*types.Var)
+				return ok && v.Pos() < fl.Pos() && !v.IsField()
+			}
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if len(as.Lhs) != len(as.Rhs) && len(as.Rhs) != 1 {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					// m[k] = v on a captured map: iteration/arrival order
+					// leaks into the merged result.
+					if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+						if id, ok := unparen(ix.X).(*ast.Ident); ok && captured(id) {
+							if _, isMap := typeUnder(info.TypeOf(ix.X)).(*types.Map); isMap {
+								p.Reportf(lhs.Pos(), "goroutine writes captured map %s; merge deterministically after the join instead", id.Name)
+							}
+						}
+						continue
+					}
+					// x = append(x, ...) on a captured slice: results land
+					// in arrival order.
+					id, ok := unparen(lhs).(*ast.Ident)
+					if !ok || !captured(id) {
+						continue
+					}
+					rhs := as.Rhs[0]
+					if len(as.Lhs) == len(as.Rhs) {
+						rhs = as.Rhs[i]
+					}
+					call, ok := unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if b := builtinOf(info, call); b == nil || b.Name() != "append" {
+						continue
+					}
+					p.Reportf(as.Pos(), "goroutine appends to captured slice %s; write out[i] by index and merge after the join instead", id.Name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

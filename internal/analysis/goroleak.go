@@ -1,0 +1,137 @@
+package analysis
+
+// goroleak requires every goroutine spawned in the harness's concurrent
+// layers to have a matched completion signal: a WaitGroup.Done, a channel
+// close or send, a receive/range that terminates on close, or a
+// context-cancel exit. The scheduler's determinism argument (byte-identical
+// merges at any worker count) assumes every worker is joined before results
+// are read; a fire-and-forget goroutine breaks that silently and only shows
+// up as a flaky race or a leaked worker under load.
+//
+// The check is structural, not a liveness proof: the spawned body (or the
+// named function it calls, through its exported summary) must *contain* a
+// completion signal on some path. Goroutines whose body calls only unknown
+// or dynamic code are not flagged — summaries sharpen diagnostics, they
+// never invent them; the race detector backstops the rest.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak reports goroutines with no visible completion signal.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine needs a matched WaitGroup.Done/channel-close/context-cancel exit path",
+	Match: func(pkgPath string) bool {
+		return anyPathPrefix(pkgPath,
+			modulePath+"/internal/core",
+			modulePath+"/internal/vdb",
+			modulePath+"/internal/index",
+			modulePath+"/internal/storage")
+	},
+	FactBased: true,
+	Run:       runGoroLeak,
+}
+
+// joinFact records whether calling the function reaches a completion signal.
+type joinFact struct{ joins bool }
+
+func runGoroLeak(p *Pass) {
+	info := p.Pkg.Info
+	var decls []*ast.FuncDecl
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+
+	lookup := func(fn *types.Func) bool {
+		f, _ := p.ImportFact(fn).(*joinFact)
+		return f != nil && f.joins
+	}
+
+	// Intra-package fixpoint: joins-ness flows through local call chains.
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, fd := range decls {
+			fn := info.Defs[fd.Name].(*types.Func)
+			joins := bodyJoins(info, fd.Body, lookup)
+			if old, _ := p.ImportFact(fn).(*joinFact); old == nil || old.joins != joins {
+				p.ExportFact(fn, &joinFact{joins: joins})
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if !bodyJoins(info, fl.Body, lookup) {
+					p.Reportf(g.Pos(), "goroutine has no completion signal (WaitGroup.Done, channel close/send/receive, or context-cancel exit)")
+				}
+				return true
+			}
+			if fn := staticCallee(info, g.Call); fn != nil {
+				if f, ok := p.ImportFact(fn).(*joinFact); ok && !f.joins {
+					p.Reportf(g.Pos(), "goroutine runs %s, which has no completion signal (WaitGroup.Done, channel close/send/receive, or context-cancel exit)", fn.FullName())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bodyJoins reports whether the body contains a completion signal: a
+// sync.WaitGroup.Done call, a channel close, send, receive, or range, or a
+// static call to a function whose summary joins.
+func bodyJoins(info *types.Info, body ast.Node, joins func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if b := builtinOf(info, n); b != nil {
+				if b.Name() == "close" {
+					found = true
+				}
+				return true
+			}
+			if fn := staticCallee(info, n); fn != nil {
+				if isWaitGroupDone(fn) || joins(fn) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isWaitGroupDone(fn *types.Func) bool {
+	return fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}

@@ -20,13 +20,19 @@ import (
 
 // A Package is one loaded, type-checked package ready for analysis.
 type Package struct {
-	Path  string // import path ("svdbench/internal/sim")
-	Name  string // package name ("sim")
-	Dir   string // source directory
-	Fset  *token.FileSet
-	Files []*ast.File // parsed non-test sources, with comments
-	Types *types.Package
-	Info  *types.Info
+	Path    string   // import path ("svdbench/internal/sim")
+	Name    string   // package name ("sim")
+	Dir     string   // source directory
+	Imports []string // direct imports, for dependency ordering
+	// FactsOnly marks a module package loaded only because a requested
+	// package depends on it: fact-based analyzers summarise it so
+	// cross-package diagnostics in the requested packages stay precise,
+	// but no diagnostics are reported for the package itself.
+	FactsOnly bool
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test sources, with comments
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // A Loader type-checks module packages from source while resolving their
@@ -43,6 +49,13 @@ type Loader struct {
 	fset    *token.FileSet
 	exports map[string]string // import path -> export data file
 	imp     types.Importer    // shared gc importer (caches loaded packages)
+	// locals are packages this loader already type-checked from source,
+	// preferred over export data when a later package imports them. Facts
+	// are attached to source-checked functions, so whole-module runs must
+	// resolve module imports to the same source-checked packages the facts
+	// were computed from; go list -deps emits dependencies first, which
+	// guarantees a local entry exists by the time an importer needs it.
+	locals map[string]*types.Package
 }
 
 // NewLoader returns a Loader rooted at dir.
@@ -51,6 +64,7 @@ func NewLoader(dir string) *Loader {
 		Dir:     dir,
 		fset:    token.NewFileSet(),
 		exports: make(map[string]string),
+		locals:  make(map[string]*types.Package),
 	}
 }
 
@@ -61,6 +75,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -68,7 +83,12 @@ type listedPackage struct {
 }
 
 // Load resolves patterns with the go tool and returns the matched packages
-// type-checked from source, in go list order.
+// type-checked from source, in go list order. Module packages that were
+// listed only as dependencies of the patterns are also type-checked — marked
+// FactsOnly — so fact-based analyzers can summarise them; `go list -deps`
+// emits dependencies before dependents, which keeps the source-first
+// importer consistent (a module import always resolves to the already
+// source-checked package, never to stale export data).
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	listed, err := l.goList(patterns)
 	if err != nil {
@@ -76,13 +96,17 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.ImportPath == "unsafe" {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.DepOnly && !hasPathPrefix(lp.ImportPath, modulePath) {
 			continue
 		}
 		pkg, err := l.check(lp.ImportPath, lp.Name, lp.Dir, lp.GoFiles)
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = lp.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -121,9 +145,15 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 			if err != nil || path == "unsafe" {
 				continue
 			}
-			if _, ok := l.exports[path]; !ok {
-				missing = append(missing, path)
+			if _, ok := l.exports[path]; ok {
+				continue
 			}
+			// A previously loaded fixture satisfies the import from
+			// source; go list would fail on its synthetic path.
+			if _, ok := l.locals[path]; ok {
+				continue
+			}
+			missing = append(missing, path)
 		}
 	}
 	if len(missing) > 0 {
@@ -209,20 +239,48 @@ func (l *Loader) checkParsed(path, name, dir string, files []*ast.File) (*Packag
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: l.exportImporter()}
+	conf := types.Config{Importer: sourceFirstImporter{l}}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
+	l.locals[path] = tpkg
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if p, err := strconv.Unquote(spec.Path.Value); err == nil && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	sort.Strings(imports)
 	return &Package{
-		Path:  path,
-		Name:  name,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    path,
+		Name:    name,
+		Dir:     dir,
+		Imports: imports,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
 	}, nil
+}
+
+// sourceFirstImporter resolves imports to packages this loader already
+// type-checked from source, falling back to compiler export data. Facts are
+// keyed by qualified name rather than object identity, so the fallback is
+// sound even when a fixture sees the export-data view of a module package;
+// source-first simply keeps the common whole-module run on one consistent
+// set of type objects.
+type sourceFirstImporter struct{ l *Loader }
+
+func (s sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if tp, ok := s.l.locals[path]; ok {
+		return tp, nil
+	}
+	return s.l.exportImporter().Import(path)
 }
 
 // exportImporter returns the shared types.Importer reading the export data

@@ -1,0 +1,135 @@
+package analysis
+
+// scratchalias is the use-after-reset detector for the SearchInto /
+// ResultInto API. A SearchScratch's buffers are valid only until the next
+// query reuses the scratch (the "reset epoch"): any reference that outlives
+// the call — returned, stored into caller-visible memory, sent on a
+// channel, captured by a goroutine, or passed to a callee whose summary
+// says it retains the argument — is a latent data race that the byte-
+// identity tests only catch for the configurations they happen to run.
+//
+// Seeds are selector expressions on values whose named type is a svdbench
+// SearchScratch; the scratch *pointer* itself is exempt, because handing
+// the whole scratch to the next owner (the BatchRun free list) is the
+// intended ownership-transfer idiom. Writes back into scratch-rooted
+// destinations are likewise the contract working as designed.
+//
+// Escape summaries are exported for every function of every loaded package
+// (not just where Match reports), which is how a scratch buffer laundered
+// through a helper in another package — an appender that returns its
+// argument, a recorder that retains a slice — is still caught at the call
+// site. A suppressed return (hnsw's searchLayer, which documents that its
+// result is scratch-owned) still exports returnsSeed, so the caller's taint
+// stays alive past the suppression.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchAlias reports SearchScratch-owned buffers escaping their epoch.
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc:  "no SearchScratch-owned buffer may escape its reset epoch (use-after-reset detector)",
+	Match: func(pkgPath string) bool {
+		return anyPathPrefix(pkgPath,
+			modulePath+"/internal/index",
+			modulePath+"/internal/vdb",
+			modulePath+"/internal/core")
+	},
+	FactBased: true,
+	Run:       runScratchAlias,
+}
+
+func runScratchAlias(p *Pass) {
+	info := p.Pkg.Info
+	seed := func(e ast.Expr) uint32 {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return 0
+		}
+		if !isScratchType(info.TypeOf(sel.X)) {
+			return 0
+		}
+		if ft := info.TypeOf(e); ft != nil && pointery(ft) {
+			return taintSeed
+		}
+		return 0
+	}
+	storeOK := func(root ast.Expr) bool {
+		return isScratchType(info.TypeOf(root))
+	}
+	lookup := func(fn *types.Func) *escapeFact {
+		f, _ := p.ImportFact(fn).(*escapeFact)
+		return f
+	}
+
+	var decls []*ast.FuncDecl
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+
+	// Intra-package fixpoint over summaries: a helper later in the file may
+	// feed taint into a function earlier in it. Bits only accumulate, so
+	// this converges quickly; cross-package summaries are already final
+	// because LintPackages runs dependencies first.
+	analyze := func(fd *ast.FuncDecl) *funcAnalysis {
+		fa := newFuncAnalysis(p, fd, seed, lookup, storeOK)
+		if fa != nil {
+			fa.run()
+		}
+		return fa
+	}
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, fd := range decls {
+			fa := analyze(fd)
+			if fa == nil {
+				continue
+			}
+			fn := info.Defs[fd.Name].(*types.Func)
+			fact := fa.fact()
+			if old, _ := p.ImportFact(fn).(*escapeFact); old == nil || !fact.equal(old) {
+				p.ExportFact(fn, fact)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fd := range decls {
+		fa := analyze(fd)
+		if fa == nil {
+			continue
+		}
+		for _, ev := range fa.escapes {
+			if ev.bits&taintSeed == 0 {
+				continue
+			}
+			p.Reportf(ev.pos, "scratch-owned buffer %s, outliving its reset epoch", ev.desc)
+		}
+	}
+}
+
+// isScratchType reports whether t (or its pointee) is a named SearchScratch
+// type declared in this module.
+func isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SearchScratch" && obj.Pkg() != nil && hasPathPrefix(obj.Pkg().Path(), modulePath)
+}

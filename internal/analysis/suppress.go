@@ -13,17 +13,49 @@ import (
 //
 // written either as a trailing comment on the offending line or as a
 // standalone comment on the line immediately above it. The justification is
-// mandatory: an allow without a recorded reason is itself a lint error, so
-// every opt-out is auditable in place. Directives for an analyzer whose
-// NoSuppress covers the package (wallclock in simulation-pure code) are
-// refused and reported rather than honored.
+// mandatory and must carry real content — empty, too-short, or
+// placeholder-word justifications ("todo", "ok", ...) are themselves lint
+// errors — so every opt-out is auditable in place (`annlint -suppressions`
+// prints the audit). Directives for an analyzer whose NoSuppress covers the
+// package (wallclock in simulation-pure code) are refused and reported
+// rather than honored.
+//
+// The second directive,
+//
+//	//annlint:hotpath
+//
+// takes no arguments and is written in a function's doc comment: it marks
+// the function as a hot-path root whose entire reachable call graph the
+// hotalloc analyzer requires to be allocation-free.
 
 const directivePrefix = "//annlint:"
 
 // A directive is one parsed //annlint:allow comment.
 type directive struct {
-	name string // analyzer being suppressed
-	pos  token.Position
+	name          string // analyzer being suppressed
+	justification string
+	pos           token.Position
+}
+
+// minJustification is the shortest trimmed justification accepted; anything
+// shorter cannot plausibly explain an exemption.
+const minJustification = 10
+
+// placeholderJustifications are filler words that satisfy the grammar but
+// record no reason. Compared case-insensitively against the whole trimmed
+// justification.
+var placeholderJustifications = map[string]bool{
+	"todo": true, "tbd": true, "fixme": true, "xxx": true, "wip": true,
+	"temp": true, "temporary": true, "placeholder": true, "because": true,
+	"reasons": true, "n/a": true, "na": true, "none": true, "ok": true,
+	"fine": true, "needed": true, "required": true, "legacy": true,
+	"ignore": true, "skip": true, "allow": true, "suppress": true,
+}
+
+// placeholderJustification reports whether the trimmed justification is too
+// short or a known filler word to count as a recorded reason.
+func placeholderJustification(j string) bool {
+	return len(j) < minJustification || placeholderJustifications[strings.ToLower(j)]
 }
 
 // suppressions indexes the well-formed directives of one package.
@@ -52,8 +84,16 @@ func parseSuppressions(pkg *Package, known map[string]*Analyzer) (*suppressions,
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if strings.HasPrefix(rest, "hotpath") {
+					if strings.TrimSpace(strings.TrimPrefix(rest, "hotpath")) != "" {
+						bad(pos, "annlint:hotpath takes no arguments")
+					}
+					// Root marking is consumed by hotalloc's own doc-comment
+					// scan; nothing to index here.
+					continue
+				}
 				if !strings.HasPrefix(rest, "allow") {
-					bad(pos, "unknown annlint directive %q (only annlint:allow exists)", c.Text)
+					bad(pos, "unknown annlint directive %q (only annlint:allow and annlint:hotpath exist)", c.Text)
 					continue
 				}
 				body := strings.TrimSpace(strings.TrimPrefix(rest, "allow"))
@@ -70,8 +110,11 @@ func parseSuppressions(pkg *Package, known map[string]*Analyzer) (*suppressions,
 				case !found || justification == "":
 					bad(pos, "annlint:allow %s needs a justification: //annlint:allow %s -- <why this site is exempt>", name, name)
 					continue
+				case placeholderJustification(justification):
+					bad(pos, "annlint:allow %s justification %q is empty or a placeholder; record the actual reason this site is exempt", name, justification)
+					continue
 				}
-				sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename], directive{name: name, pos: pos})
+				sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename], directive{name: name, justification: justification, pos: pos})
 			}
 		}
 	}
@@ -87,6 +130,40 @@ func (s *suppressions) allowed(name string, pos token.Position) bool {
 		}
 	}
 	return false
+}
+
+// A Suppression is one active, well-formed //annlint:allow directive,
+// surfaced for the `annlint -suppressions` audit listing.
+type Suppression struct {
+	Pos           token.Position
+	Analyzer      string
+	Justification string
+}
+
+// ListSuppressions returns every well-formed allow directive of pkg in
+// file/position order. Malformed directives are excluded — they are lint
+// errors, not suppressions.
+func ListSuppressions(pkg *Package, analyzers []*Analyzer) []Suppression {
+	sup, _ := parseSuppressions(pkg, byName(analyzers))
+	files := make([]string, 0, len(sup.byFile))
+	for f := range sup.byFile { //annlint:allow mapiter -- key order is restored by the sort below
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []Suppression
+	for _, f := range files {
+		ds := append([]directive(nil), sup.byFile[f]...)
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].pos.Line != ds[j].pos.Line {
+				return ds[i].pos.Line < ds[j].pos.Line
+			}
+			return ds[i].pos.Column < ds[j].pos.Column
+		})
+		for _, d := range ds {
+			out = append(out, Suppression{Pos: d.pos, Analyzer: d.name, Justification: d.justification})
+		}
+	}
+	return out
 }
 
 // refuse returns one diagnostic per directive naming the given analyzer:

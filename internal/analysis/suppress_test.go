@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadSuppressFixture type-checks a small in-tree fixture directory through
+// the shared loader.
+func loadSuppressFixture(t *testing.T, fixture, asPath string) *Package {
+	t.Helper()
+	pkg, err := sharedLoader.LoadDir("testdata/src/"+fixture, asPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+// TestSuppressionHygiene: malformed directives — unknown names, missing or
+// placeholder justifications, arguments on annlint:hotpath — are themselves
+// diagnostics. (A want comment cannot share the directive's line, so this
+// test checks parseSuppressions directly, in fixture order.)
+func TestSuppressionHygiene(t *testing.T) {
+	pkg := loadSuppressFixture(t, "suppress_bad", modulePath+"/internal/util/supfix")
+	_, diags := parseSuppressions(pkg, byName(All()))
+	wants := []string{
+		"unknown annlint directive",
+		"annlint:allow needs an analyzer name",
+		`annlint:allow names unknown analyzer "nosuch"`,
+		"annlint:allow mapiter needs a justification",
+		`justification "todo" is empty or a placeholder`,
+		"annlint:hotpath takes no arguments",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+// TestPlaceholderJustifications pins the placeholder filter directly: filler
+// words and too-short strings are rejected, substantive reasons pass.
+func TestPlaceholderJustifications(t *testing.T) {
+	for _, j := range []string{"todo", "TODO", "fixme", "ok", "temporary", "needed", "because", "short"} {
+		if !placeholderJustification(j) {
+			t.Errorf("placeholderJustification(%q) = false, want true", j)
+		}
+	}
+	for _, j := range []string{
+		"cap-guarded growth; the buffer is reused at capacity afterwards",
+		"error path only; the success path is allocation-free",
+	} {
+		if placeholderJustification(j) {
+			t.Errorf("placeholderJustification(%q) = true, want false", j)
+		}
+	}
+}
+
+// TestListSuppressions: the audit list carries each directive's analyzer and
+// justification in file/position order.
+func TestListSuppressions(t *testing.T) {
+	pkg := loadSuppressFixture(t, "suppress_audit", modulePath+"/internal/util/supaudit")
+	got := ListSuppressions(pkg, All())
+	if len(got) != 2 {
+		t.Fatalf("ListSuppressions returned %d entries, want 2: %+v", len(got), got)
+	}
+	if got[0].Analyzer != "mapiter" || !strings.Contains(got[0].Justification, "order is restored") {
+		t.Errorf("entry 0 = %+v, want the mapiter allow", got[0])
+	}
+	if got[1].Analyzer != "seededrand" || !strings.Contains(got[1].Justification, "jitter is outside") {
+		t.Errorf("entry 1 = %+v, want the seededrand allow", got[1])
+	}
+	if got[0].Pos.Line >= got[1].Pos.Line {
+		t.Errorf("entries not in position order: %d then %d", got[0].Pos.Line, got[1].Pos.Line)
+	}
+}

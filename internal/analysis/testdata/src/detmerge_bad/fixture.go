@@ -1,0 +1,34 @@
+// Fixture: goroutines merging results through shared mutation — appends to
+// a captured slice and writes to a captured map — whose final order depends
+// on scheduling.
+package detmerge_bad
+
+import "sync"
+
+func Gather(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			out = append(out, it) // want "goroutine appends to captured slice out"
+		}(it)
+	}
+	wg.Wait()
+	return out
+}
+
+func Tally(items []string) map[string]int {
+	m := map[string]int{}
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it string) {
+			defer wg.Done()
+			m[it] = len(it) // want "goroutine writes captured map m"
+		}(it)
+	}
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,38 @@
+// Fixture: deterministic merges — each goroutine owns out[i] by index, and
+// shared structures are only written after the join.
+package detmerge_clean
+
+import "sync"
+
+func Gather(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			out[i] = it * 2
+		}(i, it)
+	}
+	wg.Wait()
+	return out
+}
+
+func Tally(items []string) map[string]int {
+	lens := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it string) {
+			defer wg.Done()
+			lens[i] = len(it)
+		}(i, it)
+	}
+	wg.Wait()
+	// The map is written after the join, in input order: deterministic.
+	m := map[string]int{}
+	for i, it := range items {
+		m[it] = lens[i]
+	}
+	return m
+}

@@ -1,0 +1,19 @@
+// Fixture: goroutines with no completion signal, spawned as a literal and
+// as a named function whose (lack of a) join is known through its fact.
+package goroleak_bad
+
+var counter int
+
+func Spawn() {
+	go func() { // want "goroutine has no completion signal"
+		counter++
+	}()
+}
+
+func work() {
+	counter++
+}
+
+func SpawnNamed() {
+	go work() // want "goroutine runs .*\\.work, which has no completion signal"
+}

@@ -1,0 +1,48 @@
+// Fixture: every goroutine carries a join signal — WaitGroup.Done, channel
+// close, send, receive, or a named callee that joins by its fact.
+package goroleak_clean
+
+import "sync"
+
+func SpawnJoined(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func SpawnClose(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+func SpawnSend(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+func SpawnReceive(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}
+
+func SpawnRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func drain(ch chan int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	<-ch
+}
+
+func SpawnNamedJoined(ch chan int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go drain(ch, wg)
+}

@@ -1,0 +1,31 @@
+// Fixture: heap allocations reachable from //annlint:hotpath roots, both
+// directly and through intra-package call edges.
+package hotalloc_bad
+
+// helper allocates; Search reaches the site through its call edge, so the
+// diagnostic anchors here, at the allocation itself.
+func helper(n int) []int {
+	return make([]int, n) // want "heap allocation \\(make\\) on the hot path \\(reachable from //annlint:hotpath Search\\)"
+}
+
+//annlint:hotpath
+func Search(q []float32, k int) []int {
+	buf := make([]int, k) // want "heap allocation \\(make\\) on the hot path"
+	_ = buf
+	return helper(k)
+}
+
+//annlint:hotpath
+func Box(v int) any {
+	return v // want "heap allocation \\(interface conversion\\) on the hot path"
+}
+
+//annlint:hotpath
+func Launch(f func()) {
+	go f() // want "heap allocation \\(goroutine spawn\\) on the hot path"
+}
+
+// notHot allocates but is unreachable from any hotpath root: no diagnostic.
+func notHot() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,34 @@
+// Fixture: hot-path functions that stay within the zero-alloc contract —
+// buffer reuse, cap-guarded growth behind a justified allow, and allocations
+// confined to panic arguments.
+package hotalloc_clean
+
+import "fmt"
+
+//annlint:hotpath
+func Fill(dst []float32, v float32) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//annlint:hotpath
+func Grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //annlint:allow hotalloc -- cap-guarded growth; callers reuse the buffer at capacity afterwards
+	}
+	return buf[:n]
+}
+
+//annlint:hotpath
+func Check(n int) {
+	if n < 0 {
+		// Allocations feeding a panic are exempt: the query is already dead.
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+}
+
+//annlint:hotpath
+func Chain(dst []float32) {
+	Fill(dst, 1) // allocation-free callee: no edge diagnostic
+}

@@ -1,0 +1,13 @@
+// Fixture dependency: exports one allocating and one allocation-free
+// function. Importing fixtures see only this package's exported facts.
+package hotalloc_dep
+
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+func Fill(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

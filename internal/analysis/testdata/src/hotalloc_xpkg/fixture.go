@@ -1,0 +1,12 @@
+// Fixture: cross-package fact propagation. The violation is only visible
+// through hotalloc_dep's exported summary — this package contains no
+// allocation of its own.
+package hotalloc_xpkg
+
+import "svdbench/internal/index/hotalloc_dep"
+
+//annlint:hotpath
+func Hot(n int, dst []int) []int {
+	hotalloc_dep.Fill(dst, n) // allocation-free by its fact: no diagnostic
+	return hotalloc_dep.Alloc(n) // want "call to svdbench/internal/index/hotalloc_dep.Alloc allocates .* on the hot path"
+}

@@ -1,0 +1,38 @@
+// Fixture: scratch-owned buffers escaping their reset epoch through every
+// escape kind — return, package variable, caller-visible store, channel
+// send, and goroutine capture.
+package scratchalias_bad
+
+type SearchScratch struct {
+	IDs   []int32
+	Dists []float32
+}
+
+var sink []int32
+
+func Leak(scr *SearchScratch) []int32 {
+	return scr.IDs // want "scratch-owned buffer returned to the caller"
+}
+
+func Stash(scr *SearchScratch) {
+	sink = scr.IDs // want "scratch-owned buffer stored into a package variable"
+}
+
+type holder struct {
+	ids []int32
+}
+
+func (h *holder) Keep(scr *SearchScratch) {
+	h.ids = scr.IDs // want "scratch-owned buffer stored into caller-visible memory"
+}
+
+func Send(scr *SearchScratch, ch chan []float32) {
+	ch <- scr.Dists // want "scratch-owned buffer sent on a channel"
+}
+
+func Background(scr *SearchScratch) {
+	ids := scr.IDs
+	go func() { // want "scratch-owned buffer captured by a goroutine"
+		sink = ids // want "scratch-owned buffer stored into a package variable"
+	}()
+}

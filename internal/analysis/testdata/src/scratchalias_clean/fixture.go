@@ -1,0 +1,32 @@
+// Fixture: legitimate scratch use — reads, in-place reuse, and copying out
+// into caller-owned memory all stay within the reset epoch.
+package scratchalias_clean
+
+type SearchScratch struct {
+	IDs   []int32
+	Dists []float32
+}
+
+// CopyOut copies values out of the scratch; the backing array never leaves.
+func CopyOut(scr *SearchScratch, dst []int32) []int32 {
+	dst = append(dst[:0], scr.IDs...)
+	return dst
+}
+
+// Top reads a scalar out of a scratch buffer.
+func Top(scr *SearchScratch) int32 {
+	return scr.IDs[0]
+}
+
+// Reuse stores back into the scratch itself — the ownership the analyzer
+// protects.
+func Reuse(scr *SearchScratch) {
+	scr.IDs = scr.IDs[:0]
+}
+
+// Fill grows a scratch buffer in place across iterations.
+func Fill(scr *SearchScratch, n int) {
+	for i := 0; i < n; i++ {
+		scr.IDs = append(scr.IDs, int32(i))
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture: two well-formed allow directives for the -suppressions audit
+// listing.
+package suppress_audit
+
+import "math/rand"
+
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//annlint:allow mapiter -- key order is restored by the caller's sort
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func Jitter() float64 {
+	//annlint:allow seededrand -- jitter is outside the simulated clock, so an unseeded source is fine here
+	return rand.Float64()
+}

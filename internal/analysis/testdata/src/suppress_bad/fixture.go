@@ -1,0 +1,36 @@
+// Fixture: every way an annlint directive can be malformed, in order —
+// unknown directive, allow without a name, allow naming an unknown
+// analyzer, allow without a justification, allow with a placeholder
+// justification, and hotpath with arguments.
+package suppress_bad
+
+func Collect(m map[string]int) []string {
+	var out []string
+
+	//annlint:frobnicate
+	x := 1
+	_ = x
+
+	//annlint:allow
+	y := 2
+	_ = y
+
+	//annlint:allow nosuch -- a perfectly substantive justification
+	z := 3
+	_ = z
+
+	//annlint:allow mapiter
+	for k := range m {
+		out = append(out, k)
+	}
+
+	//annlint:allow mapiter -- todo
+	for k := range m {
+		out = append(out, k)
+	}
+
+	return out
+}
+
+//annlint:hotpath with arguments
+func Hot() {}

@@ -70,7 +70,7 @@ type Index struct {
 	// are BFS-warmed at creation; LRU caches start cold and evolve across
 	// the queries recorded against them.
 	cacheMu    sync.Mutex
-	nodeCaches map[string]*nodecache.Cache
+	nodeCaches map[cacheID]*nodecache.Cache
 }
 
 // Build constructs the Vamana graph with the standard two passes and trains
@@ -423,9 +423,12 @@ func (ix *Index) CacheWarmNodes(n int) []int32 {
 	return out
 }
 
-// cacheKey renders the cache identity of one option set.
-func cacheKey(policy nodecache.Policy, nodes int) string {
-	return fmt.Sprintf("%s/%d", policy, nodes)
+// cacheID is the comparable cache identity of one option set. A struct key
+// keeps the per-query cache lookup allocation-free (a formatted string key
+// would allocate on every search, including cache hits).
+type cacheID struct {
+	policy nodecache.Policy
+	nodes  int
 }
 
 // nodeCacheFor returns (creating and, for the static policy, BFS-warming on
@@ -440,7 +443,7 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 	if err != nil {
 		panic(err.Error())
 	}
-	key := cacheKey(policy, opts.NodeCacheNodes)
+	key := cacheID{policy: policy, nodes: opts.NodeCacheNodes}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
 	if c, ok := ix.nodeCaches[key]; ok {
@@ -453,10 +456,10 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 		Seed:     ix.cfg.Seed,
 	})
 	if policy == nodecache.PolicyStatic {
-		c.Warm(ix.CacheWarmNodes(opts.NodeCacheNodes), func(int32) int { return ix.pagesPerNode })
+		c.Warm(ix.CacheWarmNodes(opts.NodeCacheNodes), func(int32) int { return ix.pagesPerNode }) //annlint:allow hotalloc -- BFS warm set is computed once when the cache is first built
 	}
 	if ix.nodeCaches == nil {
-		ix.nodeCaches = map[string]*nodecache.Cache{}
+		ix.nodeCaches = map[cacheID]*nodecache.Cache{} //annlint:allow hotalloc -- lazy one-time init of the per-index cache table
 	}
 	ix.nodeCaches[key] = c
 	return c
@@ -474,7 +477,7 @@ func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bo
 	}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
-	c, ok := ix.nodeCaches[cacheKey(policy, opts.NodeCacheNodes)]
+	c, ok := ix.nodeCaches[cacheID{policy: policy, nodes: opts.NodeCacheNodes}]
 	if !ok {
 		return nodecache.Snapshot{}, false
 	}
@@ -495,6 +498,8 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 // path (no recorder, no node cache) performs no allocations per query.
 // Results, Stats and the recorded execution are byte-identical to the
 // pre-scratch allocating implementation.
+//
+//annlint:hotpath
 func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	L := opts.SearchList
 	if L < k {
@@ -644,7 +649,7 @@ func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *i
 			scr.IDs = append(scr.IDs, cands[bi].ID)
 		}
 		if cap(scr.Dists) < len(scr.IDs) {
-			scr.Dists = make([]float32, len(scr.IDs))
+			scr.Dists = make([]float32, len(scr.IDs)) //annlint:allow hotalloc -- cap-guarded growth of the scratch gather buffer; steady state reuses its capacity
 		}
 		beamDists := scr.Dists[:len(scr.IDs)]
 		qs.DistBatch(scr.IDs, beamDists)

@@ -83,3 +83,28 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state search allocates %.1f times per query, want 0", allocs)
 	}
 }
+
+// TestSearchCachedSteadyStateZeroAlloc extends the zero-alloc pin to the
+// node-cache path: the cache is keyed by a comparable struct, so a
+// static-cache steady-state query allocates nothing either. (A formatted
+// string key would allocate on every lookup, cache hit or not — this test
+// is the regression guard for that.)
+func TestSearchCachedSteadyStateZeroAlloc(t *testing.T) {
+	ds, ix := shared(t)
+	var next int64
+	ix.AssignPages(func(n int64) int64 { p := next; next += n; return p })
+	opts := cachedOpts(index.NodeCacheStatic, 64)
+	opts.Scratch = index.NewSearchScratch()
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		ix.SearchInto(ds.Queries.Row(qi), 10, opts, &dst)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		ix.SearchInto(ds.Queries.Row(qi%ds.Queries.Len()), 10, opts, &dst)
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("cached steady-state search allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -56,6 +56,8 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 // kernel over the contiguous matrix (bit-identical to per-row vec.Distance);
 // with a reused scratch and dst the steady-state path performs no
 // allocations per query.
+//
+//annlint:hotpath
 func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	scr := index.ScratchFor(opts)
 	heap := &scr.Bounded
@@ -66,7 +68,7 @@ func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *i
 		raw := ix.data.Raw()
 		dim := ix.data.Dim
 		if cap(scr.Dists) < scanChunk {
-			scr.Dists = make([]float32, scanChunk)
+			scr.Dists = make([]float32, scanChunk) //annlint:allow hotalloc -- cap-guarded growth of the scratch gather buffer; steady state reuses its capacity
 		}
 		for lo := 0; lo < n; lo += scanChunk {
 			cn := n - lo

@@ -176,10 +176,11 @@ func ResultInto(ns []Neighbor, k int, stats Stats, dst *Result) {
 		k = len(ns)
 	}
 	if dst.IDs == nil {
-		dst.IDs = make([]int32, 0, k) // non-nil even at k==0, like ResultFromNeighbors
+		// non-nil even at k==0, like ResultFromNeighbors
+		dst.IDs = make([]int32, 0, k) //annlint:allow hotalloc -- first-call growth of a caller-owned buffer, reused on every later call
 	}
 	if dst.Dists == nil {
-		dst.Dists = make([]float32, 0, k)
+		dst.Dists = make([]float32, 0, k) //annlint:allow hotalloc -- first-call growth of a caller-owned buffer, reused on every later call
 	}
 	dst.IDs = dst.IDs[:0]
 	dst.Dists = dst.Dists[:0]

@@ -357,7 +357,7 @@ func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, leve
 		}
 		comps := len(scr.IDs)
 		if cap(scr.Dists) < comps {
-			scr.Dists = make([]float32, comps)
+			scr.Dists = make([]float32, comps) //annlint:allow hotalloc -- cap-guarded growth of the scratch gather buffer; steady state reuses its capacity
 		}
 		dists := scr.Dists[:comps]
 		if ix.quantizer != nil {
@@ -385,7 +385,10 @@ func (ix *Index) searchLayer(q index.QueryScorer, eps []index.Neighbor, ef, leve
 		rec.AddCPU(ix.cost.Dist(ix.data.Dim, comps) + ix.cost.Heap(comps+2))
 	}
 	scr.Neighbors = results.DrainAscending(scr.Neighbors[:0])
-	return scr.Neighbors
+	// The returned slice is scr.Neighbors itself: valid only until the next
+	// operation touching scr, and every caller drains or copies it before
+	// that. Documented contract, not a leak.
+	return scr.Neighbors //annlint:allow scratchalias -- returns scr.Neighbors by contract; callers consume it before the scratch is reused
 }
 
 // Search implements index.Index: greedy descent through upper layers, then
@@ -399,6 +402,8 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 // SearchInto implements index.SearcherInto: Search writing into a
 // caller-owned Result. With a reused scratch and dst the steady-state path
 // performs no allocations.
+//
+//annlint:hotpath
 func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	scr := index.ScratchFor(opts)
 	ef := opts.EfSearch

@@ -287,7 +287,7 @@ func (p *Profile) AddPrefetch(run PrefetchRun) {
 	if p == nil || len(run.Pages) == 0 {
 		return
 	}
-	cp := make([]int64, len(run.Pages))
+	cp := make([]int64, len(run.Pages)) //annlint:allow hotalloc -- profiling copy, taken only when a recorder is attached; measurement runs accept it
 	copy(cp, run.Pages)
 	p.pendingPrefetch = append(p.pendingPrefetch, PrefetchRun{Pages: cp, Contiguous: run.Contiguous})
 }
@@ -309,7 +309,7 @@ func (p *Profile) AddIO(pages []int64) {
 	if p == nil {
 		return
 	}
-	cp := make([]int64, len(pages))
+	cp := make([]int64, len(pages)) //annlint:allow hotalloc -- profiling copy, taken only when a recorder is attached; measurement runs accept it
 	copy(cp, pages)
 	p.flushStep(Step{Pages: cp})
 }
@@ -320,7 +320,7 @@ func (p *Profile) AddContiguousIO(pages []int64) {
 	if p == nil {
 		return
 	}
-	cp := make([]int64, len(pages))
+	cp := make([]int64, len(pages)) //annlint:allow hotalloc -- profiling copy, taken only when a recorder is attached; measurement runs accept it
 	copy(cp, pages)
 	p.flushStep(Step{Pages: cp, Contiguous: true})
 }

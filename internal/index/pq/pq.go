@@ -118,13 +118,15 @@ func (q *Quantizer) BuildTable(query []float32) Table {
 // every entry is bit-identical to the per-centroid scalar loop. Entries past
 // ksub (under-trained codebooks) are never read — code bytes always index a
 // trained centroid — so stale values there are harmless.
+//
+//annlint:hotpath
 func (q *Quantizer) BuildTableInto(query []float32, t Table) Table {
 	if len(query) != q.dim {
 		panic(fmt.Sprintf("pq: table dim %d, want %d", len(query), q.dim))
 	}
 	need := q.m * centroidsPerSub
 	if cap(t) < need {
-		t = make(Table, need)
+		t = make(Table, need) //annlint:allow hotalloc -- cap-guarded growth; the table is reused at capacity on every later query
 	}
 	t = t[:need]
 	for s := 0; s < q.m; s++ {
@@ -146,6 +148,8 @@ func (t Table) Distance(code []byte) float32 {
 }
 
 // DistanceAt scores code i inside a packed code array with stride m.
+//
+//annlint:hotpath
 func (t Table) DistanceAt(codes []byte, m, i int) float32 {
 	return t.Distance(codes[i*m : (i+1)*m])
 }

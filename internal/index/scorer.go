@@ -81,6 +81,8 @@ func (qs QueryScorer) Dist(i int) float32 {
 // into out (len(out) must equal len(ids)). Every out[i] is bit-identical to
 // Dist(ids[i]); rows are gathered four at a time through the vec batch
 // kernels, which amortise the query loads and (on amd64) run in SSE.
+//
+//annlint:hotpath
 func (qs QueryScorer) DistBatch(ids []int32, out []float32) {
 	if len(ids) != len(out) {
 		panic("index: DistBatch ids/out length mismatch")

@@ -60,7 +60,7 @@ func (o SearchOptions) scratchOr() *SearchScratch {
 	if o.Scratch != nil {
 		return o.Scratch
 	}
-	return NewSearchScratch()
+	return NewSearchScratch() //annlint:allow hotalloc -- single-shot Search without a caller scratch; batch and steady-state paths always pass a reused scratch
 }
 
 // ScratchFor resolves the scratch an index's SearchInto should use. Exposed
@@ -90,7 +90,7 @@ type EpochSet struct {
 // stamps from 2^32 queries ago cannot alias.
 func (s *EpochSet) Begin(n int) {
 	if len(s.stamps) < n {
-		s.stamps = make([]uint32, n)
+		s.stamps = make([]uint32, n) //annlint:allow hotalloc -- stamp array grows once to the index size and is retained across queries
 	}
 	s.epoch++
 	if s.epoch == 0 {

@@ -82,3 +82,27 @@ func TestSearchSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state search allocates %.1f times per query, want 0", allocs)
 	}
 }
+
+// TestSearchCachedSteadyStateZeroAlloc extends the zero-alloc pin to the
+// posting-cache path: the cache is keyed by a comparable struct, so a
+// static-cache steady-state query allocates nothing either. (A formatted
+// string key would allocate on every lookup, cache hit or not — this test
+// is the regression guard for that.)
+func TestSearchCachedSteadyStateZeroAlloc(t *testing.T) {
+	ds := testData(t)
+	ix := build(t, ds, Config{PostingSize: 64})
+	opts := spannCacheOpts(index.NodeCacheStatic, 64)
+	opts.Scratch = index.NewSearchScratch()
+	var dst index.Result
+	for qi := 0; qi < ds.Queries.Len(); qi++ {
+		ix.SearchInto(ds.Queries.Row(qi), 10, opts, &dst)
+	}
+	qi := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		ix.SearchInto(ds.Queries.Row(qi%ds.Queries.Len()), 10, opts, &dst)
+		qi++
+	})
+	if allocs != 0 {
+		t.Fatalf("cached steady-state search allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -66,7 +66,7 @@ type Index struct {
 	// through search options; a "node" here is one posting list, SPANN's
 	// unit of storage access.
 	cacheMu    sync.Mutex
-	nodeCaches map[string]*nodecache.Cache
+	nodeCaches map[cacheID]*nodecache.Cache
 }
 
 // Build clusters the data into page-friendly postings with boundary
@@ -232,6 +232,14 @@ func (ix *Index) CacheWarmPostings(n int) []int32 {
 	return out
 }
 
+// cacheID is the comparable cache identity of one option set. A struct key
+// keeps the per-query cache lookup allocation-free (a formatted string key
+// would allocate on every search, including cache hits).
+type cacheID struct {
+	policy nodecache.Policy
+	nodes  int
+}
+
 // nodeCacheFor returns (creating on first use) the posting cache the
 // options select, or nil when caching is disabled.
 func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
@@ -242,7 +250,7 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 	if err != nil {
 		panic(err.Error())
 	}
-	key := fmt.Sprintf("%s/%d", policy, opts.NodeCacheNodes)
+	key := cacheID{policy: policy, nodes: opts.NodeCacheNodes}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
 	if c, ok := ix.nodeCaches[key]; ok {
@@ -255,10 +263,10 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 		Seed:     ix.cfg.Seed,
 	})
 	if policy == nodecache.PolicyStatic {
-		c.Warm(ix.CacheWarmPostings(opts.NodeCacheNodes), func(p int32) int { return len(ix.pages[p]) })
+		c.Warm(ix.CacheWarmPostings(opts.NodeCacheNodes), func(p int32) int { return len(ix.pages[p]) }) //annlint:allow hotalloc -- warm posting set is computed once when the cache is first built
 	}
 	if ix.nodeCaches == nil {
-		ix.nodeCaches = map[string]*nodecache.Cache{}
+		ix.nodeCaches = map[cacheID]*nodecache.Cache{} //annlint:allow hotalloc -- lazy one-time init of the per-index cache table
 	}
 	ix.nodeCaches[key] = c
 	return c
@@ -276,7 +284,7 @@ func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bo
 	}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
-	c, ok := ix.nodeCaches[fmt.Sprintf("%s/%d", policy, opts.NodeCacheNodes)]
+	c, ok := ix.nodeCaches[cacheID{policy: policy, nodes: opts.NodeCacheNodes}]
 	if !ok {
 		return nodecache.Snapshot{}, false
 	}
@@ -299,6 +307,8 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 // with a reused scratch and dst the steady-state path (no recorder, no
 // posting cache) performs no allocations per query. Results, Stats and the
 // recorded execution are byte-identical to the allocating implementation.
+//
+//annlint:hotpath
 func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
 	nprobe := opts.NProbe
 	if nprobe <= 0 {
@@ -393,7 +403,7 @@ func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *i
 			scr.IDs = append(scr.IDs, row)
 		}
 		if cap(scr.Dists) < len(scr.IDs) {
-			scr.Dists = make([]float32, len(scr.IDs))
+			scr.Dists = make([]float32, len(scr.IDs)) //annlint:allow hotalloc -- cap-guarded growth of the scratch gather buffer; steady state reuses its capacity
 		}
 		dists := scr.Dists[:len(scr.IDs)]
 		qs.DistBatch(scr.IDs, dists)

@@ -33,6 +33,8 @@ func check4(n, n0, n1, n2, n3 int) {
 // DotBatch writes Dot(q, row_i) into out[i] for the len(out) rows packed
 // row-major in rows (len(rows) must be len(out)*len(q)). Each out[i] is
 // bit-identical to the scalar call.
+//
+//annlint:hotpath
 func DotBatch(q, rows []float32, out []float32) {
 	d, n := len(q), len(out)
 	if len(rows) != n*d {
@@ -53,6 +55,8 @@ func DotBatch(q, rows []float32, out []float32) {
 // L2SqBatch writes L2Sq(q, row_i) into out[i] for the len(out) rows packed
 // row-major in rows (len(rows) must be len(out)*len(q)). Each out[i] is
 // bit-identical to the scalar call.
+//
+//annlint:hotpath
 func L2SqBatch(q, rows []float32, out []float32) {
 	d, n := len(q), len(out)
 	if len(rows) != n*d {
@@ -74,6 +78,8 @@ func L2SqBatch(q, rows []float32, out []float32) {
 // rows packed row-major in rows. Each out[i] is bit-identical to the scalar
 // call; for Cosine, Norm(q) is computed once (it is a pure function of q, so
 // reusing it is still bit-identical to the per-pair scalar path).
+//
+//annlint:hotpath
 func DistanceBatch(m Metric, q, rows []float32, out []float32) {
 	switch m {
 	case L2:
