@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint lint-fast lint-deep check bench bench-pipeline bench-host fuzz
+.PHONY: all build test race vet lint lint-fast lint-deep check bench bench-pipeline bench-host bench-diff fuzz
 
 all: build
 
@@ -55,6 +55,14 @@ bench-pipeline:
 # only (the CI smoke mode).
 bench-host:
 	$(GO) run ./cmd/hostbench -out BENCH_host.json $(HOSTBENCH_FLAGS)
+
+# Regression gate over the committed benchmark baselines: reruns the quick
+# kernel suite into a scratch file and fails on >20% ns/op growth or any
+# allocs/op growth on gated (non-replay) entries. CI runs this after its
+# bench-host smoke.
+bench-diff:
+	$(GO) run ./cmd/hostbench -quick -out /tmp/bench_host_fresh.json
+	$(GO) run ./cmd/benchdiff -base BENCH_host.json -new /tmp/bench_host_fresh.json
 
 # Short coverage-guided fuzzing of the node-cache invariants (the seeded
 # corpora already run as part of every plain `go test`); each target gets a

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func art(entries ...entry) artefact {
+	return artefact{Suite: "host", Results: entries}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := art(entry{Name: "dot-768", NsPerOp: 1000, AllocsPerOp: 0})
+	fresh := art(entry{Name: "dot-768", NsPerOp: 1150, AllocsPerOp: 0})
+	_, regs := diff(base, fresh, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("15%% slowdown within 20%% tolerance flagged: %v", regs)
+	}
+}
+
+func TestDiffFailsOnNsRegression(t *testing.T) {
+	base := art(entry{Name: "dot-768", NsPerOp: 1000, AllocsPerOp: 0})
+	fresh := art(entry{Name: "dot-768", NsPerOp: 1300, AllocsPerOp: 0})
+	_, regs := diff(base, fresh, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("30%% slowdown not flagged: %v", regs)
+	}
+}
+
+func TestDiffFailsOnAnyAllocRegression(t *testing.T) {
+	base := art(entry{Name: "search-batch", NsPerOp: 1000, AllocsPerOp: 10})
+	fresh := art(entry{Name: "search-batch", NsPerOp: 900, AllocsPerOp: 11})
+	_, regs := diff(base, fresh, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("single-alloc growth not flagged: %v", regs)
+	}
+}
+
+func TestDiffIgnoresReplayEntries(t *testing.T) {
+	base := art(entry{Name: "replay-pipelined", NsPerOp: 1000, AllocsPerOp: 10})
+	fresh := art(entry{Name: "replay-pipelined", NsPerOp: 9000, AllocsPerOp: 999})
+	report, regs := diff(base, fresh, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("replay entry gated: %v", regs)
+	}
+	if len(report) != 1 || !strings.Contains(report[0], "not gated") {
+		t.Fatalf("replay entry not reported as ungated: %v", report)
+	}
+}
+
+func TestDiffIgnoresNonIntersection(t *testing.T) {
+	base := art(
+		entry{Name: "dot-768", NsPerOp: 1000},
+		entry{Name: "retired-row", NsPerOp: 1000},
+	)
+	fresh := art(
+		entry{Name: "dot-768", NsPerOp: 1000},
+		entry{Name: "brand-new-row", NsPerOp: 1e12, AllocsPerOp: 1 << 30},
+	)
+	report, regs := diff(base, fresh, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("non-intersecting rows gated: %v", regs)
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{"brand-new-row", "retired-row"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report does not mention %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffImprovementsPass(t *testing.T) {
+	base := art(entry{Name: "search-batch", NsPerOp: 2000, AllocsPerOp: 50})
+	fresh := art(entry{Name: "search-batch", NsPerOp: 1000, AllocsPerOp: 0})
+	_, regs := diff(base, fresh, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}

@@ -3,12 +3,17 @@
 // BENCH_pipeline.json artefact that tracks the wall-clock trajectory of the
 // batch-first hot path across PRs (ROADMAP item 5).
 //
-// Four targets cover the pipeline's two halves at tiny dataset scale:
+// Five targets cover the pipeline's two halves at tiny dataset scale:
 //
 //	search-batch          SearchBatch over the whole query set, synchronous
 //	search-batch-la4      the same batch recording a look-ahead-4 schedule
 //	replay-sync           simulated replay, direct per-request submission
+//	replay-pipelined-la0  simulated replay, coalesced batches, no look-ahead
 //	replay-pipelined      simulated replay, look-ahead + coalesced batches
+//
+// replay-pipelined-la0 isolates the batching machinery: it replays the same
+// schedules as replay-sync, so its ns/op must not exceed replay-sync's —
+// coalescing is pure mechanism and must cost nothing when nothing overlaps.
 //
 // Usage:
 //
@@ -100,6 +105,17 @@ func main() {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				out := svdbench.RunWorkload(syncExecs, svdbench.Milvus(), replayCfg)
+				if out.Metrics.Served == 0 {
+					b.Fatal("no queries served")
+				}
+			}
+		}),
+		bench("replay-pipelined-la0", func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := replayCfg
+			cfg.CoalesceReads = true
+			for i := 0; i < b.N; i++ {
+				out := svdbench.RunWorkload(syncExecs, svdbench.Milvus(), cfg)
 				if out.Metrics.Served == 0 {
 					b.Fatal("no queries served")
 				}

@@ -60,7 +60,7 @@ func ExampleExperiments() {
 	first, _ := svdbench.ExperimentByID("table1")
 	fmt.Println(first.Paper)
 	// Output:
-	// 22 experiments
+	// 23 experiments
 	// Table I
 }
 

@@ -69,3 +69,64 @@ func TestHotallocGuardsScratchContract(t *testing.T) {
 		}
 	}
 }
+
+// TestHotallocGuardsPageSearchContract extends the real-tree guard to the
+// page-node layout: a verbatim copy of internal/index/diskann lints clean,
+// and stripping only page.go's allow annotations (the lazy layout
+// materialisation and the cap-guarded scratch growth on the page search
+// path) fires hot-path diagnostics — so the page search's zero-alloc
+// contract cannot be silently weakened.
+func TestHotallocGuardsPageSearchContract(t *testing.T) {
+	asPath := modulePath + "/internal/index/diskann"
+
+	load := func(t *testing.T, strip bool) *Package {
+		t.Helper()
+		src := filepath.Join("..", "index", "diskann")
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strip && name == "page.go" {
+				lines := strings.Split(string(data), "\n")
+				for i, line := range lines {
+					if idx := strings.Index(line, "//annlint:allow hotalloc"); idx >= 0 {
+						lines[i] = strings.TrimRight(line[:idx], " \t")
+					}
+				}
+				data = []byte(strings.Join(lines, "\n"))
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pkg, err := NewLoader("").LoadDir(dir, asPath)
+		if err != nil {
+			t.Fatalf("load copied diskann: %v", err)
+		}
+		return pkg
+	}
+
+	if diags := RunForTest(load(t, false), Hotalloc, asPath); len(diags) != 0 {
+		t.Fatalf("verbatim copy of internal/index/diskann is not clean:\n%v", diags)
+	}
+
+	diags := RunForTest(load(t, true), Hotalloc, asPath)
+	if len(diags) == 0 {
+		t.Fatal("stripping page.go's hotalloc annotations produced no diagnostics; the analyzer does not guard the page search contract")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "on the hot path") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

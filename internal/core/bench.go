@@ -399,10 +399,10 @@ func recallOfExecs(execs []vdb.QueryExec, gt [][]int32) float64 {
 // variantEntry returns (creating on first use) the singleflight entry for
 // one option set.
 func (p *prepared) variantEntry(opts index.SearchOptions) *execsEntry {
-	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d-nc%d-ncp%s-la%d-qc%d",
+	key := fmt.Sprintf("np%d-ef%d-sl%d-bw%d-nc%d-ncp%s-la%d-qc%d-ly%s",
 		opts.NProbe, opts.EfSearch, opts.SearchList, opts.BeamWidth,
 		opts.NodeCacheNodes, opts.NodeCachePolicy,
-		opts.LookAhead, opts.QueryConcurrency)
+		opts.LookAhead, opts.QueryConcurrency, opts.Layout)
 	p.mu.Lock()
 	e, ok := p.variants[key]
 	if !ok {

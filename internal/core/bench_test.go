@@ -183,8 +183,8 @@ func TestTuneUp(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 22 {
-		t.Errorf("%d experiments, want 22 (2 tables + 14 figures + 6 extensions)", len(exps))
+	if len(exps) != 23 {
+		t.Errorf("%d experiments, want 23 (2 tables + 14 figures + 7 extensions)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -70,6 +70,7 @@ func Experiments() []Experiment {
 		{ID: "extD", Paper: "Extension D", Title: "Storage-index shoot-out: DiskANN vs SPANN-style clusters", run: runExtD},
 		{ID: "cache", Paper: "Extension E", Title: "Node-cache sweep: hit rate, device reads, and latency vs capacity and policy", run: runCache},
 		{ID: "pipeline", Paper: "Extension F", Title: "Async pipeline: look-ahead prefetch and coalesced submission vs the synchronous baseline", run: runPipeline},
+		{ID: "layout", Paper: "Extension G", Title: "Page-node layout: device reads, hops, and latency vs the ID-packed baseline at equal recall", run: runLayout},
 	}
 }
 

@@ -107,6 +107,13 @@ func (b *Bench) tuneEf(st *Stack) int {
 // returned, mirroring the paper's LanceDB-IVF case where the target is
 // unreachable and the achieved accuracy is simply reported.
 func tuneUp(name string, lo, hi int, eval func(int) float64) int {
+	return tuneUpTo(name, lo, hi, TargetRecall, eval)
+}
+
+// tuneUpTo is tuneUp against an arbitrary recall target, used when an
+// experiment matches a previously-achieved recall instead of the paper's
+// fixed 0.9 goal (e.g. the layout experiment's equal-recall comparison).
+func tuneUpTo(name string, lo, hi int, target float64, eval func(int) float64) int {
 	if lo < 1 {
 		lo = 1
 	}
@@ -120,7 +127,7 @@ func tuneUp(name string, lo, hi int, eval func(int) float64) int {
 		if v > hi {
 			v = hi
 		}
-		if eval(v) >= TargetRecall {
+		if eval(v) >= target {
 			pass = v
 			break
 		}
@@ -136,7 +143,7 @@ func tuneUp(name string, lo, hi int, eval func(int) float64) int {
 	loB, hiB := prev+1, pass
 	for loB < hiB {
 		mid := (loB + hiB) / 2
-		if eval(mid) >= TargetRecall {
+		if eval(mid) >= target {
 			hiB = mid
 		} else {
 			loB = mid + 1

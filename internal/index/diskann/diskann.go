@@ -47,6 +47,11 @@ type Config struct {
 	PQM int
 	// PageSize is the storage page size (default 4096).
 	PageSize int
+	// Layout selects the default on-disk layout searches use:
+	// index.LayoutID (node-per-page-slot, the default when empty) or
+	// index.LayoutPage (page-node co-design; the layout is packed eagerly
+	// at build time and persisted). Search options override per query.
+	Layout string
 }
 
 // Index is a built DiskANN index.
@@ -64,6 +69,16 @@ type Index struct {
 
 	basePage     int64
 	pagesPerNode int
+
+	// Page-node layout state: the page region is reserved by AssignPages
+	// unconditionally (so a layout materialised lazily on a loaded index
+	// has addresses), while the layout itself is packed eagerly when built
+	// with Config.Layout == index.LayoutPage and lazily on the first
+	// page-layout search otherwise.
+	pageBase      int64
+	pagesPerGroup int
+	pageMu        sync.Mutex
+	pageLay       *pageLayout
 
 	// nodeCaches holds one node cache per (policy, capacity) requested
 	// through search options, created lazily on first use. Static caches
@@ -110,6 +125,7 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 		scorer: index.NewScorer(data, cfg.Metric),
 	}
 	ix.pagesPerNode = (data.Dim*4 + 4 + cfg.R*4 + cfg.PageSize - 1) / cfg.PageSize
+	ix.pagesPerGroup = pagesPerGroupFor(data.Dim, cfg.PageSize)
 
 	q, err := pq.Train(data, cfg.PQM, cfg.Seed+7)
 	if err != nil {
@@ -137,6 +153,13 @@ func Build(data *vec.Matrix, ids []int32, cfg Config) (*Index, error) {
 		if len(ix.graph[node]) > cfg.R {
 			ix.pruneNode(int32(node), cfg.Alpha)
 		}
+	}
+	switch cfg.Layout {
+	case "", index.LayoutID:
+	case index.LayoutPage:
+		ix.pageLay = ix.buildPageLayout()
+	default:
+		return nil, fmt.Errorf("diskann: unknown layout %q", cfg.Layout)
 	}
 	return ix, nil
 }
@@ -342,9 +365,13 @@ func (ix *Index) robustPruneCands(p int32, cands []index.Neighbor, alpha float64
 }
 
 // AssignPages lays the graph out on storage: node i occupies pagesPerNode
-// consecutive pages starting at base+i·pagesPerNode.
+// consecutive pages starting at base+i·pagesPerNode. A second region is
+// always reserved for the page-node layout (group g occupies pagesPerGroup
+// consecutive pages from pageBase; group count never exceeds the node
+// count), so a page layout materialised after loading still has addresses.
 func (ix *Index) AssignPages(alloc func(npages int64) int64) {
 	ix.basePage = alloc(int64(ix.data.Len()) * int64(ix.pagesPerNode))
+	ix.pageBase = alloc(int64(ix.data.Len()) * int64(ix.pagesPerGroup))
 }
 
 // nodePages returns the storage pages of one node.
@@ -365,6 +392,46 @@ func (ix *Index) appendNodePages(dst []int64, row int32) []int64 {
 // PagesPerNode reports the node footprint in pages (1 for 768-d, 2 for
 // 1536-d at R=48).
 func (ix *Index) PagesPerNode() int { return ix.pagesPerNode }
+
+// PagesPerGroup reports the footprint of one page-node group in pages (1
+// whenever a member fits the page budget at all).
+func (ix *Index) PagesPerGroup() int { return ix.pagesPerGroup }
+
+// PageCapacity reports how many member nodes one page group holds (5 at
+// 768-d, 2 at 1536-d with the default 4 KiB pages).
+func (ix *Index) PageCapacity() int { return pageCapacity(ix.data.Dim, ix.cfg.PageSize) }
+
+// PageGroups reports the number of page groups of the page-node layout,
+// materialising it on first use.
+func (ix *Index) PageGroups() int { return ix.pageLayoutFor().pages() }
+
+// PageEntry reports the page group holding the medoid, materialising the
+// layout on first use (for tests).
+func (ix *Index) PageEntry() int32 { return ix.pageLayoutFor().entry }
+
+// layoutFor resolves the effective layout of one search: an explicit option
+// wins, then the layout the index was built with, then index.LayoutID.
+func (ix *Index) layoutFor(opts index.SearchOptions) string {
+	if opts.Layout != "" {
+		return opts.Layout
+	}
+	if ix.cfg.Layout != "" {
+		return ix.cfg.Layout
+	}
+	return index.LayoutID
+}
+
+// pageLayoutFor returns the page-node layout, packing it on first use. The
+// pack is deterministic (seeded permutation, strict tie-breaks), so a lazy
+// layout on a loaded index equals the eagerly built one.
+func (ix *Index) pageLayoutFor() *pageLayout {
+	ix.pageMu.Lock()
+	defer ix.pageMu.Unlock()
+	if ix.pageLay == nil {
+		ix.pageLay = ix.buildPageLayout()
+	}
+	return ix.pageLay
+}
 
 // Medoid returns the traversal entry point.
 func (ix *Index) Medoid() int32 { return ix.medoid }
@@ -429,6 +496,10 @@ func (ix *Index) CacheWarmNodes(n int) []int32 {
 type cacheID struct {
 	policy nodecache.Policy
 	nodes  int
+	// layout separates the node-keyed caches of the ID layout from the
+	// page-group-keyed caches of the page layout; ids from the two key
+	// spaces must never share a cache.
+	layout string
 }
 
 // nodeCacheFor returns (creating and, for the static policy, BFS-warming on
@@ -443,7 +514,8 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 	if err != nil {
 		panic(err.Error())
 	}
-	key := cacheID{policy: policy, nodes: opts.NodeCacheNodes}
+	layout := ix.layoutFor(opts)
+	key := cacheID{policy: policy, nodes: opts.NodeCacheNodes, layout: layout}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
 	if c, ok := ix.nodeCaches[key]; ok {
@@ -456,7 +528,15 @@ func (ix *Index) nodeCacheFor(opts index.SearchOptions) *nodecache.Cache {
 		Seed:     ix.cfg.Seed,
 	})
 	if policy == nodecache.PolicyStatic {
-		c.Warm(ix.CacheWarmNodes(opts.NodeCacheNodes), func(int32) int { return ix.pagesPerNode }) //annlint:allow hotalloc -- BFS warm set is computed once when the cache is first built
+		// The warm set mirrors the traversal's unit: node rows BFS-walked
+		// from the medoid for the ID layout, page groups BFS-walked over
+		// the inter-page adjacency for the page layout.
+		if layout == index.LayoutPage {
+			pl := ix.pageLayoutFor()                                                                        //annlint:allow hotalloc -- one-time deterministic page packing, shared with the search path and amortised across every query
+			c.Warm(ix.cacheWarmPages(pl, opts.NodeCacheNodes), func(int32) int { return ix.pagesPerGroup }) //annlint:allow hotalloc -- BFS warm set is computed once when the cache is first built
+		} else {
+			c.Warm(ix.CacheWarmNodes(opts.NodeCacheNodes), func(int32) int { return ix.pagesPerNode }) //annlint:allow hotalloc -- BFS warm set is computed once when the cache is first built
+		}
 	}
 	if ix.nodeCaches == nil {
 		ix.nodeCaches = map[cacheID]*nodecache.Cache{} //annlint:allow hotalloc -- lazy one-time init of the per-index cache table
@@ -477,7 +557,7 @@ func (ix *Index) CacheSnapshot(opts index.SearchOptions) (nodecache.Snapshot, bo
 	}
 	ix.cacheMu.Lock()
 	defer ix.cacheMu.Unlock()
-	c, ok := ix.nodeCaches[cacheID{policy: policy, nodes: opts.NodeCacheNodes}]
+	c, ok := ix.nodeCaches[cacheID{policy: policy, nodes: opts.NodeCacheNodes, layout: ix.layoutFor(opts)}]
 	if !ok {
 		return nodecache.Snapshot{}, false
 	}
@@ -501,6 +581,14 @@ func (ix *Index) Search(q []float32, k int, opts index.SearchOptions) index.Resu
 //
 //annlint:hotpath
 func (ix *Index) SearchInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
+	switch ix.layoutFor(opts) {
+	case index.LayoutID:
+	case index.LayoutPage:
+		ix.searchPageInto(q, k, opts, dst)
+		return
+	default:
+		panic(fmt.Sprintf("diskann: unknown layout %q", ix.layoutFor(opts)))
+	}
 	L := opts.SearchList
 	if L < k {
 		L = k

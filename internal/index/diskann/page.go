@@ -1,0 +1,443 @@
+package diskann
+
+import (
+	"math/rand"
+	"slices"
+
+	"svdbench/internal/index"
+	"svdbench/internal/index/pq"
+)
+
+// Page-node layout (index.LayoutPage): the PageANN-style co-design that makes
+// the 4 KiB page — not the node — the logical graph unit. Build groups each
+// node with its nearest graph neighbours into page-nodes; search beam-walks
+// the page graph and scores *every* resident node a fetched page contains, so
+// the bytes a read returns stop being wasted (the paper's O-15 observation is
+// exactly that the node-per-page layout wastes them).
+//
+// The modelled on-page framing sets the byte budget (the simulator moves page
+// addresses, not payload bytes, so the budget is the honesty contract — see
+// DESIGN.md "Page-node layout"):
+//
+//	header      16 B   page id, member count, adjacency length, version
+//	adjacency   pageDegree × 4 B  inter-page edges embedded in the header
+//	members     capacity × (4 B id + dim B SQ8 code)
+//
+// so capacity = (PageSize − 16 − pageDegree·4) / (4 + dim): 5 members at
+// 768-d, 2 at 1536-d. Traversal steering needs no representative bytes in the
+// header at all: a page is priced at the best in-memory PQ distance among its
+// residents, using the same RAM-resident compressed vectors the node layout
+// navigates with.
+const (
+	pageHeaderBytes = 16
+	// pageDegree caps the inter-page adjacency embedded in a page header;
+	// matching Vamana's default R keeps the page graph as navigable as the
+	// node graph it is built from.
+	pageDegree    = 48
+	memberIDBytes = 4
+)
+
+// pageCapacity returns how many member nodes fit one page group.
+func pageCapacity(dim, pageSize int) int {
+	c := (pageSize - pageHeaderBytes - pageDegree*4) / (memberIDBytes + dim)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// pagesPerGroupFor returns the page footprint of one full group: 1 whenever
+// at least one member fits the budget, ceil(groupBytes/pageSize) for
+// dimensionalities so large even a single member overflows a page.
+func pagesPerGroupFor(dim, pageSize int) int {
+	bytes := pageHeaderBytes + pageDegree*4 + pageCapacity(dim, pageSize)*(memberIDBytes+dim)
+	return (bytes + pageSize - 1) / pageSize
+}
+
+// pageLayout is the materialised page-node graph of one index: a partition of
+// the node rows into page groups plus the inter-page topology embedded in the
+// page headers. It is deterministic given the build config (seeded packing,
+// strict tie-breaking) and is persisted verbatim by the VAMA0002 framing.
+type pageLayout struct {
+	// pageOf maps a node row to the page group holding it.
+	pageOf []int32
+	// members lists each group's resident node rows, anchor first, then in
+	// the order the greedy packer admitted them.
+	members [][]int32
+	// anchors is members[p][0], kept flat for the search hot path.
+	anchors []int32
+	// adj is the inter-page adjacency (≤ pageDegree entries per group).
+	adj [][]int32
+	// entry is the group holding the medoid, the traversal entry point.
+	entry int32
+}
+
+// pages returns the number of page groups.
+func (pl *pageLayout) pages() int { return len(pl.members) }
+
+// buildPageLayout greedily packs the graph into page groups. Nodes are
+// visited in a seeded permutation; each unassigned node anchors a new group
+// and pulls in its nearest unassigned graph neighbours (expanding the
+// candidate pool through admitted members' edges) until the page is full.
+// Ties break on ascending row id, so the layout is a pure function of the
+// build seed.
+func (ix *Index) buildPageLayout() *pageLayout {
+	n := ix.data.Len()
+	capacity := pageCapacity(ix.data.Dim, ix.cfg.PageSize)
+	pl := &pageLayout{pageOf: make([]int32, n)}
+	for i := range pl.pageOf {
+		pl.pageOf[i] = -1
+	}
+	// Seed offset keeps the packing permutation independent of the build
+	// permutation drawn from the same config seed.
+	r := rand.New(rand.NewSource(ix.cfg.Seed + 101))
+	order := r.Perm(n)
+
+	// pooled marks pool membership per group: pooled[c] == current group id.
+	pooled := make([]int32, n)
+	for i := range pooled {
+		pooled[i] = -1
+	}
+	pool := make([]int32, 0, 4*ix.cfg.R)
+	for _, u := range order {
+		if pl.pageOf[u] >= 0 {
+			continue
+		}
+		pid := int32(len(pl.members))
+		group := make([]int32, 1, capacity)
+		group[0] = int32(u)
+		pl.pageOf[u] = pid
+		av := ix.scorer.QueryRow(u)
+		pool = pool[:0]
+		admit := func(m int32) {
+			for _, t := range ix.graph[m] {
+				if pl.pageOf[t] < 0 && pooled[t] != pid {
+					pooled[t] = pid
+					pool = append(pool, t)
+				}
+			}
+		}
+		admit(int32(u))
+		for len(group) < capacity {
+			// Nearest unassigned pool candidate by (distance to the anchor,
+			// row id); assigned entries are compacted away as we scan.
+			best, bestD := int32(-1), float32(0)
+			kept := pool[:0]
+			for _, c := range pool {
+				if pl.pageOf[c] >= 0 {
+					continue
+				}
+				kept = append(kept, c)
+				d := av.Dist(int(c))
+				if best < 0 || d < bestD || (d == bestD && c < best) {
+					best, bestD = c, d
+				}
+			}
+			pool = kept
+			if best < 0 {
+				break
+			}
+			pl.pageOf[best] = pid
+			group = append(group, best)
+			admit(best)
+		}
+		pl.members = append(pl.members, group)
+		pl.anchors = append(pl.anchors, int32(u))
+	}
+	pl.entry = pl.pageOf[ix.medoid]
+	pl.buildAdjacency(ix)
+	return pl
+}
+
+// pageCand is one candidate inter-page edge during adjacency construction.
+type pageCand struct {
+	pid int32
+	d   float32
+}
+
+// buildAdjacency derives the inter-page topology: group p links to the pages
+// holding its members' out-edge targets, ranked by the anchor's distance to
+// the nearest such target and capped at pageDegree. Deduplication uses a
+// stamp array (never map iteration), so the edge order is deterministic.
+func (pl *pageLayout) buildAdjacency(ix *Index) {
+	np := pl.pages()
+	pl.adj = make([][]int32, np)
+	slot := make([]int32, np) // slot[q]-1 indexes cands while stamp[q] == p
+	stamp := make([]int32, np)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	cands := make([]pageCand, 0, 4*pageDegree)
+	for p := 0; p < np; p++ {
+		av := ix.scorer.QueryRow(int(pl.anchors[p]))
+		cands = cands[:0]
+		for _, m := range pl.members[p] {
+			for _, t := range ix.graph[m] {
+				q := pl.pageOf[t]
+				if int(q) == p {
+					continue
+				}
+				d := av.Dist(int(t))
+				if stamp[q] == int32(p) {
+					if i := slot[q] - 1; d < cands[i].d {
+						cands[i].d = d
+					}
+					continue
+				}
+				stamp[q] = int32(p)
+				slot[q] = int32(len(cands) + 1)
+				cands = append(cands, pageCand{pid: q, d: d})
+			}
+		}
+		slices.SortFunc(cands, func(a, b pageCand) int {
+			if a.d != b.d {
+				if a.d < b.d {
+					return -1
+				}
+				return 1
+			}
+			if a.pid != b.pid {
+				if a.pid < b.pid {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		deg := len(cands)
+		if deg > pageDegree {
+			deg = pageDegree
+		}
+		edges := make([]int32, deg)
+		for i := 0; i < deg; i++ {
+			edges[i] = cands[i].pid
+		}
+		pl.adj[p] = edges
+	}
+}
+
+// appendGroupPages appends the storage pages of one page group to dst, the
+// allocation-free page-layout analogue of appendNodePages.
+func (ix *Index) appendGroupPages(dst []int64, pid int32) []int64 {
+	first := ix.pageBase + int64(pid)*int64(ix.pagesPerGroup)
+	for i := 0; i < ix.pagesPerGroup; i++ {
+		dst = append(dst, first+int64(i))
+	}
+	return dst
+}
+
+// cacheWarmPages returns up to n page groups in breadth-first order over the
+// inter-page adjacency from the entry group — the page-layout warm set of a
+// static node cache, mirroring CacheWarmNodes.
+func (ix *Index) cacheWarmPages(pl *pageLayout, n int) []int32 {
+	if n > pl.pages() {
+		n = pl.pages()
+	}
+	if n <= 0 {
+		return nil
+	}
+	visited := make([]bool, pl.pages())
+	queue := make([]int32, 0, n)
+	queue = append(queue, pl.entry)
+	visited[pl.entry] = true
+	out := make([]int32, 0, n)
+	for len(queue) > 0 && len(out) < n {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, nb := range pl.adj[cur] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return out
+}
+
+// searchPageInto is the page-layout beam search: identical in structure to
+// the node-layout SearchInto, but the candidate list, beam, cache and
+// look-ahead all operate on page groups, and every member a fetched page
+// contains is batch-scored exactly (full-precision re-rank semantics). The
+// candidate list bound L counts pages, floored at ceil(k/capacity) so the
+// result set can always fill — a page list of 3 covers ~15 nodes at 768-d,
+// which is where the device-read savings at equal recall come from.
+//
+//annlint:hotpath
+func (ix *Index) searchPageInto(q []float32, k int, opts index.SearchOptions, dst *index.Result) {
+	pl := ix.pageLayoutFor() //annlint:allow hotalloc -- one-time deterministic page packing on first page-layout search; every later query reuses the materialised layout
+	capacity := pageCapacity(ix.data.Dim, ix.cfg.PageSize)
+	L := opts.SearchList
+	if minL := (k + capacity - 1) / capacity; L < minL {
+		L = minL
+	}
+	if L < 1 {
+		L = 1
+	}
+	W := opts.BeamWidth
+	if W <= 0 {
+		W = 4
+	}
+	rec := opts.Recorder
+	stats := index.Stats{}
+	cache := ix.nodeCacheFor(opts)
+	la := opts.LookAhead
+	scr := index.ScratchFor(opts)
+	inList := &scr.Visited
+	inList.Begin(pl.pages())
+	var inFlight *index.EpochSet
+	if la > 0 {
+		inFlight = &scr.InFlight
+		inFlight.Begin(pl.pages())
+	}
+
+	qs := ix.scorer.Query(q)
+	scr.Table = ix.quantizer.BuildTableInto(q, scr.Table)
+	table := pq.Table(scr.Table)
+	rec.AddCPU(ix.cost.Dist(ix.data.Dim, 256))
+	m := ix.quantizer.M()
+
+	cands := scr.Cands[:0]
+	pqThisIter := 0
+	// Steering: a page is priced at the best in-memory PQ distance among its
+	// residents. The per-node compressed vectors are the same RAM-resident PQ
+	// state the node layout navigates with, so page routing costs zero extra
+	// page bytes — just capacity× the PQ lookups, which the cost model
+	// charges below.
+	push := func(pid int32) {
+		if inList.Contains(pid) {
+			return
+		}
+		inList.Add(pid)
+		members := pl.members[pid]
+		d := table.DistanceAt(ix.codes, m, int(members[0]))
+		for _, row := range members[1:] {
+			if md := table.DistanceAt(ix.codes, m, int(row)); md < d {
+				d = md
+			}
+		}
+		stats.PQComps += len(members)
+		pqThisIter += len(members)
+		cands = append(cands, index.BeamEntry{ID: pid, Dist: d})
+	}
+	push(pl.entry)
+
+	exact := &scr.Bounded
+	exact.Reset()
+	beam := scr.Beam[:0]
+	pages := scr.Pages[:0]
+	ppg := ix.pagesPerGroup
+	for {
+		slices.SortFunc(cands, func(a, b index.BeamEntry) int {
+			if a.Dist != b.Dist {
+				if a.Dist < b.Dist {
+					return -1
+				}
+				return 1
+			}
+			if a.ID != b.ID {
+				if a.ID < b.ID {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		if len(cands) > L {
+			for _, c := range cands[L:] {
+				inList.Remove(c.ID)
+			}
+			cands = cands[:L]
+		}
+		beam = beam[:0]
+		for i := range cands {
+			if !cands[i].Visited {
+				beam = append(beam, i)
+				if len(beam) == W {
+					break
+				}
+			}
+		}
+		if len(beam) == 0 {
+			break
+		}
+		stats.Hops++
+		pages = pages[:0]
+		cachedPages := 0
+		for _, bi := range beam {
+			pid := cands[bi].ID
+			if cache != nil && cache.Touch(pid, ppg) {
+				cachedPages += ppg
+				continue
+			}
+			if la > 0 && inFlight.Contains(pid) {
+				stats.PrefetchUsed += ppg
+				inFlight.Remove(pid)
+			}
+			pages = ix.appendGroupPages(pages, pid)
+		}
+		stats.PagesRead += len(pages)
+		stats.CachePages += cachedPages
+		rec.AddCPU(ix.cost.Heap(len(cands)))
+		if cachedPages > 0 {
+			rec.AddCPU(cache.HitCost(cachedPages))
+			rec.AddCacheHit(cachedPages)
+		}
+		if la > 0 {
+			picked := 0
+			for i := beam[len(beam)-1] + 1; i < len(cands) && picked < la; i++ {
+				pid := cands[i].ID
+				if cands[i].Visited || inFlight.Contains(pid) {
+					continue
+				}
+				if cache != nil && cache.Contains(pid) {
+					continue
+				}
+				inFlight.Add(pid)
+				scr.PF = ix.appendGroupPages(scr.PF[:0], pid)
+				stats.PrefetchPages += len(scr.PF)
+				rec.AddPrefetch(index.PrefetchRun{Pages: scr.PF})
+				picked++
+			}
+		}
+		rec.AddIO(pages)
+		// Expand each fetched page: every resident member is batch-scored
+		// exactly (this is the co-design's payoff — one read, capacity
+		// re-ranked nodes), then the page's embedded adjacency feeds the
+		// candidate list.
+		scr.IDs = scr.IDs[:0]
+		for _, bi := range beam {
+			for _, row := range pl.members[cands[bi].ID] {
+				scr.IDs = append(scr.IDs, row)
+			}
+		}
+		if cap(scr.Dists) < len(scr.IDs) {
+			scr.Dists = make([]float32, len(scr.IDs)) //annlint:allow hotalloc -- cap-guarded growth of the scratch gather buffer; steady state reuses its capacity
+		}
+		memberDists := scr.Dists[:len(scr.IDs)]
+		qs.DistBatch(scr.IDs, memberDists)
+		pqThisIter = 0
+		j := 0
+		for _, bi := range beam {
+			cands[bi].Visited = true
+			pid := cands[bi].ID
+			for _, row := range pl.members[pid] {
+				ed := memberDists[j]
+				j++
+				stats.DistComps++
+				extID := ix.extID(row)
+				if opts.Filter == nil || opts.Filter(extID) {
+					exact.PushBounded(index.Neighbor{ID: extID, Dist: ed}, k)
+				}
+			}
+			for _, nb := range pl.adj[pid] {
+				push(nb)
+			}
+		}
+		rec.AddCPU(ix.cost.Dist(ix.data.Dim, len(scr.IDs)) + ix.cost.PQ(m, pqThisIter))
+	}
+	rec.Flush()
+	scr.Cands, scr.Beam, scr.Pages = cands, beam, pages
+	scr.Neighbors = exact.DrainAscending(scr.Neighbors[:0])
+	index.ResultInto(scr.Neighbors, k, stats, dst)
+}

@@ -55,6 +55,14 @@ type SearchOptions struct {
 	// with speculative reads recorded separately (Step.Prefetch) and
 	// accounted in Stats.PrefetchPages/PrefetchUsed.
 	LookAhead int
+	// Layout selects the on-disk layout a storage-based index searches:
+	// LayoutID (the default when empty) keeps one node per page slot, the
+	// layout the paper measures; LayoutPage groups a node with its nearest
+	// graph neighbours into 4 KiB page-nodes and beam-searches over those
+	// (the PageANN-style page-as-graph-unit co-design). Indexes without a
+	// second layout ignore the field. An explicit option overrides the
+	// layout the index was built with.
+	Layout string
 	// QueryConcurrency bounds how many queries of one SearchBatch run
 	// concurrently on host goroutines (0 means the default of 8). Batches
 	// against a mutable node cache always run sequentially in query order
@@ -74,6 +82,18 @@ type SearchOptions struct {
 	// overrides Recorder inside SearchBatch and is ignored by Search.
 	RecorderFor func(qi int) *Profile
 }
+
+// On-disk layout names understood by the storage-based indexes.
+const (
+	// LayoutID packs one node per page slot (addresses are derived from the
+	// node id): every beam hop fetches a page and scores exactly one node,
+	// the layout behind the paper's O-15 finding. The default when empty.
+	LayoutID = "id"
+	// LayoutPage makes the 4 KiB page the logical graph unit: a page holds
+	// a node and its nearest graph neighbours plus an embedded inter-page
+	// adjacency list, so one fetch scores every resident node.
+	LayoutPage = "page"
+)
 
 // Node-cache policy names understood by the storage-based indexes; they
 // mirror internal/storage/nodecache's Policy values without importing it.

@@ -42,6 +42,14 @@ func WithNodeCachePolicy(policy string) SearchOption {
 // to the synchronous search at any depth.
 func WithLookAhead(n int) SearchOption { return func(o *SearchOptions) { o.LookAhead = n } }
 
+// WithLayout selects the on-disk layout of a storage-based search: LayoutID
+// (one node per page slot, the default when empty) or LayoutPage (page-node
+// co-design: beam search over 4 KiB page groups, scoring every resident
+// node a fetch returns). Overrides the layout the index was built with.
+func WithLayout(layout string) SearchOption {
+	return func(o *SearchOptions) { o.Layout = layout }
+}
+
 // WithQueryConcurrency bounds how many queries of one SearchBatch run
 // concurrently (0 means the default of index.DefaultQueryConcurrency).
 func WithQueryConcurrency(n int) SearchOption {

@@ -11,10 +11,15 @@ type Event struct {
 	k       *Kernel
 	fired   bool
 	waiters []*proc
+	w0      [1]*proc // inline buffer: the common case is a single waiter
 }
 
 // NewEvent creates an unfired event bound to the kernel.
-func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+func NewEvent(k *Kernel) *Event {
+	ev := &Event{k: k}
+	ev.waiters = ev.w0[:0]
+	return ev
+}
 
 // Fired reports whether the event has fired.
 func (ev *Event) Fired() bool { return ev.fired }
@@ -29,7 +34,7 @@ func (ev *Event) Fire() {
 	for _, p := range ev.waiters {
 		ev.k.unpark(p)
 	}
-	ev.waiters = nil
+	ev.waiters = ev.waiters[:0]
 }
 
 // Wait blocks the calling process until the event fires (returning
@@ -40,4 +45,29 @@ func (ev *Event) Wait(e *Env) {
 	}
 	ev.waiters = append(ev.waiters, e.p)
 	e.parkNoEvent()
+}
+
+// AllocEvent returns an unfired event from the kernel's free list (or a
+// fresh one). Hot simulation paths pair it with ReleaseEvent so one-shot
+// completion signals stop allocating in the steady state; NewEvent remains
+// the unpooled constructor for events with open-ended lifetimes.
+func (k *Kernel) AllocEvent() *Event {
+	if n := len(k.eventPool); n > 0 {
+		ev := k.eventPool[n-1]
+		k.eventPool = k.eventPool[:n-1]
+		ev.fired = false
+		return ev
+	}
+	ev := &Event{k: k}
+	ev.waiters = ev.w0[:0]
+	return ev
+}
+
+// ReleaseEvent returns a fired, waiter-free event to the free list. The
+// caller must be its last user.
+func (k *Kernel) ReleaseEvent(ev *Event) {
+	if !ev.fired || len(ev.waiters) != 0 {
+		panic("sim: ReleaseEvent of an event still in use")
+	}
+	k.eventPool = append(k.eventPool, ev)
 }

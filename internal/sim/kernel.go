@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -43,30 +42,67 @@ func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled wake-up for a process.
+// event is a scheduled wake-up for a process. gen snapshots the process's
+// recycling generation at schedule time, so a wake-up outlives its target
+// harmlessly: a stale event for a since-recycled process is skipped.
 type event struct {
 	at   Time
 	seq  uint64
+	gen  uint64
 	proc *proc
 }
 
+// eventHeap is a binary min-heap over (at, seq), hand-rolled rather than
+// container/heap so pushes and pops move concrete values — the interface
+// boxing of the stdlib heap would allocate on every scheduled wake-up, which
+// is the kernel's hottest operation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -78,13 +114,28 @@ const (
 	procDone
 )
 
-// proc is the kernel-side handle for one simulated process.
+// proc is the kernel-side handle for one simulated process. Finished procs
+// return to the kernel's free list with their goroutines parked, so spawning
+// a process on a warmed-up kernel allocates nothing and creates no
+// goroutine: the recycled proc's loop just runs the next body.
 type proc struct {
 	id    int
 	name  string
 	wake  chan struct{}
 	state procState
+	gen   uint64 // bumped on recycle; stale heap events are skipped
+	env   *Env   // allocated once, reused across bodies
+
+	body   func(*Env)
+	runner Runner
+	group  *Group // fork/join group counting this process, if any
+	exit   bool   // drain signal: the proc's goroutine terminates
 }
+
+// Runner is a reusable process body: SpawnRunner runs it like Spawn runs a
+// closure, but hot simulation paths can free-list runner values and resubmit
+// them, avoiding the per-spawn closure allocation.
+type Runner interface{ Run(*Env) }
 
 // Kernel is a discrete-event simulation instance. The zero value is not
 // usable; create one with NewKernel.
@@ -95,6 +146,10 @@ type Kernel struct {
 	yield  chan *proc // processes signal the kernel here when they block or exit
 	nextID int
 	live   int // processes spawned and not yet done
+
+	free      []*proc  // recycled procs with parked goroutines
+	eventPool []*Event // fired events returned via ReleaseEvent
+	groupPool []*Group // idle groups returned via ReleaseGroup
 
 	started  bool
 	deadlock func(k *Kernel) // called when no events remain but processes are blocked
@@ -116,7 +171,7 @@ func (k *Kernel) schedule(p *proc, at Time) {
 		at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, proc: p})
+	k.events.push(event{at: at, seq: k.seq, gen: p.gen, proc: p})
 }
 
 // Env is a process's handle to the simulation. Every simulated process
@@ -173,38 +228,81 @@ func (e *Env) parkNoEvent() {
 // unpark schedules p to resume at the current virtual time.
 func (k *Kernel) unpark(p *proc) { k.schedule(p, k.now) }
 
+// procLoop is the goroutine body of every proc: run dispatched bodies until
+// drained. A live proc alternates between parked (waiting on wake) and
+// executing one body; between bodies it sits on the kernel's free list.
+func (k *Kernel) procLoop(p *proc) {
+	for {
+		<-p.wake // wait for dispatch
+		if p.exit {
+			return
+		}
+		p.state = procRunnable
+		if r := p.runner; r != nil {
+			p.runner = nil
+			r.Run(p.env)
+		} else {
+			fn := p.body
+			p.body = nil
+			fn(p.env)
+		}
+		if g := p.group; g != nil {
+			p.group = nil
+			g.done()
+		}
+		p.state = procDone
+		k.yield <- p
+	}
+}
+
+// spawn is the shared process-creation path: reuse a pooled proc (and its
+// parked goroutine) when one is free, otherwise start a fresh one.
+func (k *Kernel) spawn(name string, at Time, fn func(*Env), r Runner, g *Group) {
+	var p *proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free = k.free[:n-1]
+		p.name = name
+	} else {
+		k.nextID++
+		p = &proc{id: k.nextID, name: name, wake: make(chan struct{})}
+		p.env = &Env{k: k, p: p}
+		go k.procLoop(p)
+	}
+	p.state = procBlocked
+	p.body, p.runner, p.group = fn, r, g
+	k.live++
+	k.schedule(p, at)
+}
+
 // Spawn creates a new simulated process executing fn, runnable at the current
 // virtual time. fn runs in its own goroutine under kernel control. Spawn may
 // be called before Run or from inside a running process.
-func (k *Kernel) Spawn(name string, fn func(*Env)) {
-	k.nextID++
-	p := &proc{id: k.nextID, name: name, wake: make(chan struct{})}
-	k.live++
-	env := &Env{k: k, p: p}
-	go func() {
-		<-p.wake // wait for first dispatch
-		p.state = procRunnable
-		fn(env)
-		p.state = procDone
-		k.yield <- p
-	}()
-	k.schedule(p, k.now)
-}
+func (k *Kernel) Spawn(name string, fn func(*Env)) { k.spawn(name, k.now, fn, nil, nil) }
 
 // SpawnAt is like Spawn but the process first becomes runnable at time at.
-func (k *Kernel) SpawnAt(name string, at Time, fn func(*Env)) {
-	k.nextID++
-	p := &proc{id: k.nextID, name: name, wake: make(chan struct{})}
-	k.live++
-	env := &Env{k: k, p: p}
-	go func() {
-		<-p.wake
-		p.state = procRunnable
-		fn(env)
-		p.state = procDone
-		k.yield <- p
-	}()
-	k.schedule(p, at)
+func (k *Kernel) SpawnAt(name string, at Time, fn func(*Env)) { k.spawn(name, at, fn, nil, nil) }
+
+// SpawnRunner is Spawn for a reusable Runner body (no closure allocation).
+func (k *Kernel) SpawnRunner(name string, r Runner) { k.spawn(name, k.now, nil, r, nil) }
+
+// recycle returns a finished proc to the free list for the next spawn.
+func (k *Kernel) recycle(p *proc) {
+	p.gen++
+	k.free = append(k.free, p)
+}
+
+// drainPool terminates the goroutines of every pooled proc. Called when a
+// run reaches full quiescence so finished simulations leave no parked
+// goroutines behind (the race detector bounds simultaneously live
+// goroutines, and the core suite runs thousands of simulations per test
+// binary).
+func (k *Kernel) drainPool() {
+	for _, p := range k.free {
+		p.exit = true
+		p.wake <- struct{}{}
+	}
+	k.free = k.free[:0]
 }
 
 // OnDeadlock installs a handler invoked if the event queue drains while
@@ -224,8 +322,8 @@ func (k *Kernel) Run(until Time) Time {
 			k.now = until
 			return k.now
 		}
-		heap.Pop(&k.events)
-		if ev.proc.state == procDone {
+		k.events.pop()
+		if ev.gen != ev.proc.gen || ev.proc.state == procDone {
 			continue
 		}
 		k.now = ev.at
@@ -235,6 +333,7 @@ func (k *Kernel) Run(until Time) Time {
 		p := <-k.yield
 		if p.state == procDone {
 			k.live--
+			k.recycle(p)
 		}
 	}
 	if k.live > 0 {
@@ -244,6 +343,7 @@ func (k *Kernel) Run(until Time) Time {
 		}
 		panic(fmt.Sprintf("sim: deadlock at t=%v with %d live processes", k.now, k.live))
 	}
+	k.drainPool()
 	return k.now
 }
 

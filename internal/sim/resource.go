@@ -114,18 +114,28 @@ type Group struct {
 // NewGroup creates an empty group bound to the environment's kernel.
 func (e *Env) NewGroup() *Group { return &Group{k: e.k} }
 
-// Go spawns fn as a child process counted by the group.
+// Go spawns fn as a child process counted by the group. The kernel calls the
+// group back when the child finishes, so Go adds no wrapper closure around
+// fn.
 func (g *Group) Go(name string, fn func(*Env)) {
 	g.pending++
-	g.k.Spawn(name, func(e *Env) {
-		fn(e)
-		g.pending--
-		if g.pending == 0 && g.waiter != nil {
-			w := g.waiter
-			g.waiter = nil
-			g.k.unpark(w)
-		}
-	})
+	g.k.spawn(name, g.k.now, fn, nil, g)
+}
+
+// GoRunner is Go for a reusable Runner body (no closure allocation).
+func (g *Group) GoRunner(name string, r Runner) {
+	g.pending++
+	g.k.spawn(name, g.k.now, nil, r, g)
+}
+
+// done is the kernel's completion callback for a grouped process.
+func (g *Group) done() {
+	g.pending--
+	if g.pending == 0 && g.waiter != nil {
+		w := g.waiter
+		g.waiter = nil
+		g.k.unpark(w)
+	}
 }
 
 // Wait blocks the calling process until every child spawned with Go has
@@ -139,6 +149,27 @@ func (g *Group) Wait(e *Env) {
 	}
 	g.waiter = e.p
 	e.parkNoEvent()
+}
+
+// AllocGroup returns an idle group from the kernel's free list (or a fresh
+// one). Fork/join-per-step hot paths pair it with ReleaseGroup; NewGroup
+// remains the unpooled constructor.
+func (k *Kernel) AllocGroup() *Group {
+	if n := len(k.groupPool); n > 0 {
+		g := k.groupPool[n-1]
+		k.groupPool = k.groupPool[:n-1]
+		return g
+	}
+	return &Group{k: k}
+}
+
+// ReleaseGroup returns a quiescent group (no pending children, no waiter) to
+// the free list.
+func (k *Kernel) ReleaseGroup(g *Group) {
+	if g.pending != 0 || g.waiter != nil {
+		panic("sim: ReleaseGroup of an active group")
+	}
+	k.groupPool = append(k.groupPool, g)
 }
 
 // Queue is an unbounded FIFO of interface values with blocking Get,

@@ -11,30 +11,130 @@ import (
 // outstanding at the same instant are drained by one dispatcher process in
 // batches of up to the device queue depth (Config.Slots), paying SubmitCPU
 // once per batch plus BatchSubmitCPU per additional request — io_uring-style
-// doorbell batching. Service order inside the device is unchanged (the slot
-// semaphore is FIFO), so coalescing alters CPU cost and submission timing,
-// never which bytes are read.
+// doorbell batching. Service order is unchanged (grants are FIFO), so
+// coalescing alters CPU cost and submission timing, never which bytes are
+// read.
+//
+// The batcher services requests analytically instead of parking one process
+// per outstanding request. Because grants are FIFO and the transfer bus is
+// serial, completion times are monotone in submission order, so the
+// dispatcher can compute each request's completion with the same recursion
+// Device.service performs — slot grant = the completion of the request
+// Slots submissions earlier, bus reservation off the device's busFree clock,
+// plus the base latency — and a single completer process walks the resulting
+// FIFO, firing each request's join event at its computed instant. Modelled
+// hardware behaviour is identical to the direct path; host-side, a
+// 64-deep device queue costs two processes instead of 64.
+//
+// The steady state allocates nothing per request: pending requests live in a
+// reusable head-compacted slice, multi-page submissions join on one pooled
+// event shared by the whole beam (see ReadPages), and joints and events
+// recycle through free lists.
 //
 // A Batcher is bound to one device and must only be used from simulation
-// processes of that device's kernel.
+// processes of that device's kernel. While it is in use, all reads of the
+// device must flow through it (the engine routes every read through the
+// batcher in coalesced mode): the analytic slot model and the semaphore the
+// direct path uses do not see each other's occupancy.
 type Batcher struct {
 	d       *Device
+	name    string // precomposed dispatcher proc name (concat allocates)
+	cplName string // precomposed completer proc name
+
 	pending []batchReq
+	head    int // pending[:head] has been dispatched
 	running bool
+
+	// Analytic service state: computed completions awaiting the completer,
+	// and a ring of the last Slots completion times for the grant recursion.
+	completions []completion
+	chead       int
+	completing  bool
+	cpl         completerRunner
+	recent      []sim.Time
+	ri          int
+
+	joints []*joint
 
 	batches  int64
 	requests int64
 }
 
-// batchReq is one queued read waiting for dispatch.
+// joint is the shared completion join of one multi-request submission: the
+// event fires when its last request finishes servicing. Blocking
+// submissions (Read, ReadPages) own a pooled event recycled by finish;
+// ReadPagesAsync joins on a caller-owned event and recycles the joint at
+// fire time. Single async requests (ReadAsync) carry their event directly
+// and need no joint.
+type joint struct {
+	left  int
+	ev    *sim.Event
+	owned bool
+}
+
+// batchReq is one queued read waiting for dispatch: either a share of a
+// joint (blocking submission) or a bare caller-owned event (async).
 type batchReq struct {
 	page  int64
 	bytes int
-	done  *sim.Event
+	j     *joint
+	ev    *sim.Event
 }
 
+// completion is one serviced request's computed finish time.
+type completion struct {
+	at sim.Time
+	j  *joint
+	ev *sim.Event
+}
+
+// completerRunner is the process body walking the completion FIFO (a
+// distinct Runner type because Batcher.Run is the dispatcher).
+type completerRunner struct{ b *Batcher }
+
+func (c *completerRunner) Run(e *sim.Env) { c.b.complete(e) }
+
 // NewBatcher creates a batcher over the device.
-func NewBatcher(d *Device) *Batcher { return &Batcher{d: d} }
+func NewBatcher(d *Device) *Batcher {
+	b := &Batcher{
+		d:       d,
+		name:    d.cfg.Name + "/batcher",
+		cplName: d.cfg.Name + "/completer",
+		recent:  make([]sim.Time, d.cfg.Slots),
+	}
+	b.cpl.b = b
+	return b
+}
+
+func (b *Batcher) allocJoint(n int, ev *sim.Event, owned bool) *joint {
+	var j *joint
+	if l := len(b.joints); l > 0 {
+		j = b.joints[l-1]
+		b.joints = b.joints[:l-1]
+	} else {
+		j = &joint{}
+	}
+	j.left, j.ev, j.owned = n, ev, owned
+	return j
+}
+
+// enqueue appends one request and ensures the dispatcher is running.
+func (b *Batcher) enqueue(req batchReq) {
+	b.pending = append(b.pending, req)
+	if !b.running {
+		b.running = true
+		b.d.k.SpawnRunner(b.name, b)
+	}
+}
+
+// finish blocks until the joint's last request completes, then returns the
+// joint and its event to their pools.
+func (b *Batcher) finish(e *sim.Env, j *joint) {
+	j.ev.Wait(e)
+	b.d.k.ReleaseEvent(j.ev)
+	j.ev = nil
+	b.joints = append(b.joints, j)
+}
 
 // Read submits one read request through the coalescer and blocks the calling
 // process until the device completes it.
@@ -42,29 +142,151 @@ func (b *Batcher) Read(e *sim.Env, page int64, bytes int) {
 	if bytes <= 0 {
 		panic("ssd: batched read of non-positive size")
 	}
-	req := batchReq{page: page, bytes: bytes, done: sim.NewEvent(b.d.k)}
-	b.pending = append(b.pending, req)
-	if !b.running {
-		b.running = true
-		b.d.k.Spawn(b.d.cfg.Name+"/batcher", b.dispatch)
-	}
-	req.done.Wait(e)
+	j := b.allocJoint(1, b.d.k.AllocEvent(), true)
+	b.enqueue(batchReq{page: page, bytes: bytes, j: j})
+	b.finish(e, j)
 }
 
-// dispatch drains the pending queue in batches of up to Slots requests. Each
-// batch charges its amortised submission CPU, then every request is serviced
-// concurrently by the device (slots and bus arbitrate as usual); the
-// dispatcher moves on to the next batch without waiting for completions, so
-// the device queue actually fills.
-func (b *Batcher) dispatch(e *sim.Env) {
-	for len(b.pending) > 0 {
-		n := len(b.pending)
+// ReadPages submits one page-sized request per page (a beam) through the
+// coalescer and blocks until all of them complete. The whole beam joins on
+// one shared event instead of one per page — the beam-read analogue of
+// Device.ReadPages.
+func (b *Batcher) ReadPages(e *sim.Env, pages []int64) {
+	switch len(pages) {
+	case 0:
+		return
+	case 1:
+		b.Read(e, pages[0], b.d.cfg.PageSize)
+		return
+	}
+	j := b.allocJoint(len(pages), b.d.k.AllocEvent(), true)
+	for _, p := range pages {
+		b.enqueue(batchReq{page: p, bytes: b.d.cfg.PageSize, j: j})
+	}
+	b.finish(e, j)
+}
+
+// ReadAsync submits one read without blocking: ev fires when the device
+// completes it. The caller owns ev's lifecycle and must not release it
+// before it fires — this is how the replay engine issues look-ahead
+// prefetches in coalesced mode without a process per speculative read.
+func (b *Batcher) ReadAsync(page int64, bytes int, ev *sim.Event) {
+	if bytes <= 0 {
+		panic("ssd: batched read of non-positive size")
+	}
+	b.enqueue(batchReq{page: page, bytes: bytes, ev: ev})
+}
+
+// ReadPagesAsync is ReadPages without the blocking wait: ev fires when the
+// whole beam has completed. The replay engine submits a step's demand beam
+// this way so the step's look-ahead prefetches can be enqueued behind it —
+// demand transfers keep their place ahead of speculative ones on the bus —
+// before the query parks on ev.
+func (b *Batcher) ReadPagesAsync(pages []int64, ev *sim.Event) {
+	if len(pages) == 0 {
+		panic("ssd: async beam of zero pages")
+	}
+	j := b.allocJoint(len(pages), ev, false)
+	for _, p := range pages {
+		b.enqueue(batchReq{page: p, bytes: b.d.cfg.PageSize, j: j})
+	}
+}
+
+// submit computes one request's completion time — the analytic equivalent
+// of Device.service: issue-time trace emission and queue-depth accounting,
+// FIFO slot grant, serial bus reservation, base read latency.
+func (b *Batcher) submit(e *sim.Env, req batchReq) {
+	d := b.d
+	if d.tracer != nil {
+		d.tracer.Emit(e.Now(), trace.Read, req.bytes)
+	}
+	d.outstanding++
+	d.tracer.NoteDepth(e.Now(), d.outstanding)
+	grant := e.Now()
+	if g := b.recent[b.ri]; g > grant {
+		grant = g
+	}
+	start := grant
+	if d.busFree > start {
+		start = d.busFree
+	}
+	busTime := sim.Duration(float64(req.bytes) / d.cfg.BandwidthBps * 1e9)
+	done := start.Add(busTime)
+	d.busFree = done
+	at := done.Add(d.cfg.ReadLatency)
+	b.recent[b.ri] = at
+	b.ri++
+	if b.ri == len(b.recent) {
+		b.ri = 0
+	}
+	b.completions = append(b.completions, completion{at: at, j: req.j, ev: req.ev})
+	if !b.completing {
+		b.completing = true
+		d.k.SpawnRunner(b.cplName, &b.cpl)
+	}
+}
+
+// complete walks the completion FIFO, sleeping to each request's computed
+// finish time (monotone by construction) and firing its joint. Completions
+// appended while it sleeps are picked up in order; the queue storage is
+// reset — not reallocated — once drained.
+func (b *Batcher) complete(e *sim.Env) {
+	d := b.d
+	for b.chead < len(b.completions) {
+		if b.chead >= 4096 {
+			// Under continuous load the FIFO never fully drains; slide the
+			// unconsumed tail down so the backing array stays bounded.
+			n := copy(b.completions, b.completions[b.chead:])
+			b.completions = b.completions[:n]
+			b.chead = 0
+		}
+		c := b.completions[b.chead]
+		b.chead++
+		e.SleepUntil(c.at)
+		d.reads++
+		d.outstanding--
+		d.tracer.NoteDepth(e.Now(), d.outstanding)
+		if j := c.j; j != nil {
+			j.left--
+			if j.left == 0 {
+				j.ev.Fire()
+				if !j.owned {
+					j.ev = nil
+					b.joints = append(b.joints, j)
+				}
+			}
+		} else {
+			c.ev.Fire()
+		}
+	}
+	b.completions = b.completions[:0]
+	b.chead = 0
+	b.completing = false
+}
+
+// Run is the dispatcher process body (Batcher implements sim.Runner): it
+// drains the pending queue in batches of up to Slots requests. Each batch
+// charges its amortised submission CPU, then every request's device service
+// is computed and queued for the completer; the dispatcher moves on to the
+// next batch without waiting for completions, so the device queue actually
+// fills. Requests arriving while a batch's CPU charge blocks are picked up
+// by later iterations; the queue storage is reset — not reallocated — once
+// drained.
+func (b *Batcher) Run(e *sim.Env) {
+	for b.head < len(b.pending) {
+		if b.head >= 4096 {
+			// Same tail compaction as the completer: under continuous load
+			// the dispatcher may never observe an empty queue.
+			n := copy(b.pending, b.pending[b.head:])
+			b.pending = b.pending[:n]
+			b.head = 0
+		}
+		n := len(b.pending) - b.head
 		if n > b.d.cfg.Slots {
 			n = b.d.cfg.Slots
 		}
-		batch := make([]batchReq, n)
-		copy(batch, b.pending)
-		b.pending = b.pending[n:]
+		batch := b.pending[b.head : b.head+n]
+		b.head += n
 		b.batches++
 		b.requests += int64(n)
 		if b.d.cpu != nil {
@@ -73,15 +295,12 @@ func (b *Batcher) dispatch(e *sim.Env) {
 				b.d.cpu.Use(e, cost)
 			}
 		}
-		for _, r := range batch {
-			r := r
-			b.d.k.Spawn("batched-read", func(ce *sim.Env) {
-				b.d.service(ce, trace.Read, r.bytes)
-				b.d.reads++
-				r.done.Fire()
-			})
+		for i := range batch {
+			b.submit(e, batch[i])
 		}
 	}
+	b.pending = b.pending[:0]
+	b.head = 0
 	b.running = false
 }
 

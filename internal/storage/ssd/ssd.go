@@ -85,7 +85,8 @@ type Device struct {
 	nextPage    int64 // bump allocator for page addresses
 	reads       int64
 	writes      int64
-	outstanding int // requests submitted and not yet completed
+	outstanding int        // requests submitted and not yet completed
+	jobs        []*readJob // beam-read body pool (see ReadPages)
 }
 
 // New creates a device. cpu may be nil to model free submission.
@@ -136,9 +137,23 @@ func (d *Device) Write(e *sim.Env, page int64, bytes int) {
 	d.writes++
 }
 
+// readJob is the pooled process body of one beam read (see ReadPages).
+type readJob struct {
+	d    *Device
+	page int64
+}
+
+// Run performs the read and returns the job to the device's pool (readJob
+// implements sim.Runner).
+func (r *readJob) Run(e *sim.Env) {
+	r.d.Read(e, r.page, r.d.cfg.PageSize)
+	r.d.jobs = append(r.d.jobs, r)
+}
+
 // ReadPages issues n page-sized read requests concurrently (a beam), and
 // returns when all have completed. This is how DiskANN's beam search fetches
-// the W frontier nodes of one iteration in parallel.
+// the W frontier nodes of one iteration in parallel. The fork/join runs on
+// pooled groups and runner bodies, so the steady state allocates nothing.
 func (d *Device) ReadPages(e *sim.Env, pages []int64) {
 	switch len(pages) {
 	case 0:
@@ -147,12 +162,20 @@ func (d *Device) ReadPages(e *sim.Env, pages []int64) {
 		d.Read(e, pages[0], d.cfg.PageSize)
 		return
 	}
-	g := e.NewGroup()
+	g := d.k.AllocGroup()
 	for _, p := range pages {
-		p := p
-		g.Go("beam-read", func(ce *sim.Env) { d.Read(ce, p, d.cfg.PageSize) })
+		var j *readJob
+		if n := len(d.jobs); n > 0 {
+			j = d.jobs[n-1]
+			d.jobs = d.jobs[:n-1]
+		} else {
+			j = &readJob{d: d}
+		}
+		j.page = p
+		g.GoRunner("beam-read", j)
 	}
 	g.Wait(e)
+	d.k.ReleaseGroup(g)
 }
 
 // request is the shared single-request path: per-request submission CPU,

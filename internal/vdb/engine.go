@@ -14,10 +14,11 @@ import (
 // the global lock, per-query memory accounting, and segment fan-out.
 type Engine struct {
 	Traits
-	k   *sim.Kernel
-	cpu *sim.CPU
-	dev *ssd.Device
-	rd  pageReader // read path: the device directly, or a coalescing Batcher
+	k       *sim.Kernel
+	cpu     *sim.CPU
+	dev     *ssd.Device
+	rd      pageReader   // read path: the device directly, or a coalescing Batcher
+	batcher *ssd.Batcher // non-nil when rd coalesces (typed for ReadPages)
 
 	sched      *sim.Semaphore // admission (nil = unbounded)
 	readSlots  *sim.Semaphore // segment-worker cap (nil = unbounded)
@@ -27,12 +28,17 @@ type Engine struct {
 	memInUse  int64
 	served    int64
 	oomFailed int64
+
+	scratch []*replayScratch // per-query replay state pool
+	pfPool  []*prefetchJob   // background-prefetch body pool
+	reap    []*prefetchJob   // abandoned async prefetches awaiting completion
+	pfName  string           // precomposed prefetch proc name (concat allocates)
 }
 
 // NewEngine binds a trait profile to a simulation, its CPU, and the storage
 // device queries read from.
 func NewEngine(k *sim.Kernel, cpu *sim.CPU, dev *ssd.Device, traits Traits) *Engine {
-	e := &Engine{Traits: traits, k: k, cpu: cpu, dev: dev, rd: dev}
+	e := &Engine{Traits: traits, k: k, cpu: cpu, dev: dev, rd: dev, pfName: traits.Name + "/prefetch"}
 	if traits.MaxConcurrent > 0 {
 		e.sched = sim.NewSemaphore(k, traits.Name+"/sched", int64(traits.MaxConcurrent))
 	}
@@ -57,6 +63,7 @@ type pageReader interface {
 // restores the direct device path). The batcher must be bound to this
 // engine's device.
 func (e *Engine) SetBatcher(b *ssd.Batcher) {
+	e.batcher = b
 	if b == nil {
 		e.rd = e.dev
 		return
@@ -149,6 +156,143 @@ func (e *Engine) RunQuery(env *sim.Env, qe *QueryExec) error {
 	return nil
 }
 
+// replayScratch is the reusable per-query state of replaySteps. Replaying
+// queries interleave inside the simulation, so each in-flight query borrows
+// its own instance from the engine's pool; the steady state allocates
+// nothing per query.
+type replayScratch struct {
+	inflight map[int64]*prefetchJob // first page → in-flight prefetch
+	jobs     []pfRef                // every prefetch issued by this query
+	joins    []*prefetchJob         // current step's joined prefetches
+	toRead   []int64                // current step's demand pages
+}
+
+// pfRef records one issued prefetch for the end-of-query sweep. Joined jobs
+// are released — and may be reissued — before the sweep runs, so the ref
+// snapshots the job's generation: a stale generation means this ref's
+// incarnation is already back in the pool.
+type pfRef struct {
+	pj  *prefetchJob
+	gen uint32
+}
+
+func (e *Engine) allocScratch() *replayScratch {
+	if n := len(e.scratch); n > 0 {
+		s := e.scratch[n-1]
+		e.scratch = e.scratch[:n-1]
+		return s
+	}
+	// Sized for a deep look-ahead schedule up front: the scratch is reused
+	// for the engine's lifetime, so growth allocations are worth avoiding.
+	return &replayScratch{
+		inflight: make(map[int64]*prefetchJob, 64),
+		jobs:     make([]pfRef, 0, 64),
+		joins:    make([]*prefetchJob, 0, 16),
+		toRead:   make([]int64, 0, 16),
+	}
+}
+
+func (e *Engine) releaseScratch(s *replayScratch) {
+	clear(s.inflight)
+	s.jobs, s.joins, s.toRead = s.jobs[:0], s.joins[:0], s.toRead[:0]
+	e.scratch = append(e.scratch, s)
+}
+
+// prefetchJob is the pooled state of one background prefetch. A demand step
+// joining the prefetch waits on ev and releases the job immediately; jobs
+// the query never joined are swept at query end — released when already
+// complete, otherwise handed off to free themselves (proc path) or to the
+// engine's reap list (async path) once their read lands.
+type prefetchJob struct {
+	eng       *Engine
+	page      int64
+	bytes     int
+	ev        *sim.Event
+	gen       uint32
+	abandoned bool
+}
+
+// Run performs the speculative read and fires the completion event
+// (prefetchJob implements sim.Runner) — the direct-device path; in
+// coalesced mode the batcher services the read and fires ev with no
+// process at all.
+func (pj *prefetchJob) Run(ce *sim.Env) {
+	pj.eng.rd.Read(ce, pj.page, pj.bytes)
+	pj.ev.Fire()
+	if pj.abandoned {
+		pj.eng.releasePF(pj)
+	}
+}
+
+func (e *Engine) allocPF(page int64, bytes int) *prefetchJob {
+	var pj *prefetchJob
+	if n := len(e.pfPool); n > 0 {
+		pj = e.pfPool[n-1]
+		e.pfPool = e.pfPool[:n-1]
+	} else {
+		pj = &prefetchJob{eng: e}
+	}
+	pj.page, pj.bytes = page, bytes
+	pj.ev = e.k.AllocEvent()
+	pj.abandoned = false
+	return pj
+}
+
+func (e *Engine) releasePF(pj *prefetchJob) {
+	pj.gen++ // invalidate outstanding pfRefs to this incarnation
+	e.k.ReleaseEvent(pj.ev)
+	pj.ev = nil
+	e.pfPool = append(e.pfPool, pj)
+}
+
+// reapPrefetches releases abandoned async prefetches whose reads have since
+// completed. Called on each query's sweep, keeping the unfired tail small.
+func (e *Engine) reapPrefetches() {
+	kept := e.reap[:0]
+	for _, pj := range e.reap {
+		if pj.ev.Fired() {
+			e.releasePF(pj)
+		} else {
+			kept = append(kept, pj)
+		}
+	}
+	e.reap = kept
+}
+
+// spawnPrefetch issues one background prefetch and registers it with the
+// query's scratch under its first page. In coalesced mode the read is an
+// async batcher submission; otherwise a pooled process performs it.
+func (e *Engine) spawnPrefetch(scr *replayScratch, first int64, bytes int) {
+	pj := e.allocPF(first, bytes)
+	scr.inflight[first] = pj
+	scr.jobs = append(scr.jobs, pfRef{pj: pj, gen: pj.gen})
+	if e.batcher != nil {
+		e.batcher.ReadAsync(first, bytes, pj.ev)
+	} else {
+		e.k.SpawnRunner(e.pfName, pj)
+	}
+}
+
+// issuePrefetches launches every speculative read a step recorded. In
+// coalesced mode the caller invokes it after submitting the step's demand
+// reads so speculative transfers queue behind demand ones — the same bus
+// order the process path produces, where prefetch processes only run once
+// the query parks on its demand I/O.
+func (e *Engine) issuePrefetches(scr *replayScratch, pfs []index.PrefetchRun, pageSize int) {
+	for _, pf := range pfs {
+		if len(pf.Pages) == 0 {
+			continue
+		}
+		if pf.Contiguous {
+			e.spawnPrefetch(scr, pf.Pages[0], len(pf.Pages)*pageSize)
+		} else {
+			for _, p := range pf.Pages {
+				e.spawnPrefetch(scr, p, pageSize)
+			}
+		}
+	}
+}
+
 // replaySteps walks one segment's recorded steps: each step burns its CPU
 // on a core, launches its speculative prefetches in the background, then
 // issues its demand page batch (beam semantics). Node-cache hits recorded in
@@ -164,7 +308,8 @@ func (e *Engine) RunQuery(env *sim.Env, qe *QueryExec) error {
 // mechanism that overlaps hop h+1's I/O with hop h's compute.
 func (e *Engine) replaySteps(env *sim.Env, steps []index.Step) {
 	pageSize := e.dev.Config().PageSize
-	var inflight map[int64]*sim.Event // first page → prefetch completion
+	async := e.batcher != nil
+	var scr *replayScratch // lazily borrowed: only prefetching queries pay
 	for _, s := range steps {
 		if s.CPU > 0 {
 			e.cpu.Use(env, s.CPU)
@@ -172,76 +317,126 @@ func (e *Engine) replaySteps(env *sim.Env, steps []index.Step) {
 		if s.CachePages > 0 {
 			e.dev.Tracer().EmitCacheHit(env.Now(), s.CachePages, s.CachePages*pageSize)
 		}
-		for _, pf := range s.Prefetch {
-			if len(pf.Pages) == 0 {
-				continue
-			}
-			if inflight == nil {
-				inflight = map[int64]*sim.Event{}
-			}
-			if pf.Contiguous {
-				ev := sim.NewEvent(e.k)
-				inflight[pf.Pages[0]] = ev
-				first, bytes := pf.Pages[0], len(pf.Pages)*pageSize
-				e.k.Spawn(e.Name+"/prefetch", func(ce *sim.Env) {
-					e.rd.Read(ce, first, bytes)
-					ev.Fire()
-				})
-			} else {
-				for _, p := range pf.Pages {
-					p := p
-					ev := sim.NewEvent(e.k)
-					inflight[p] = ev
-					e.k.Spawn(e.Name+"/prefetch", func(ce *sim.Env) {
-						e.rd.Read(ce, p, pageSize)
-						ev.Fire()
-					})
-				}
-			}
+		pfs := s.Prefetch
+		if len(pfs) > 0 && scr == nil {
+			scr = e.allocScratch()
+		}
+		if !async && len(pfs) > 0 {
+			// Process path: the prefetch processes are only scheduled here;
+			// they run — and enqueue their reads — once the query parks on
+			// its demand I/O below, so demand transfers stay ahead.
+			e.issuePrefetches(scr, pfs, pageSize)
+			pfs = nil
 		}
 		if len(s.Pages) == 0 {
+			if len(pfs) > 0 {
+				e.issuePrefetches(scr, pfs, pageSize)
+			}
 			continue
 		}
 		if s.Contiguous {
-			if ev, ok := inflight[s.Pages[0]]; ok {
-				delete(inflight, s.Pages[0])
-				ev.Wait(env)
-			} else {
+			var joined *prefetchJob
+			if scr != nil {
+				if pj, ok := scr.inflight[s.Pages[0]]; ok {
+					delete(scr.inflight, s.Pages[0])
+					joined = pj
+				}
+			}
+			switch {
+			case joined != nil:
+				if len(pfs) > 0 {
+					e.issuePrefetches(scr, pfs, pageSize)
+				}
+				joined.ev.Wait(env)
+				e.releasePF(joined)
+			case async:
+				// Submit the demand read, then the step's prefetches, then
+				// park — speculative transfers queue behind the demand one.
+				dem := e.k.AllocEvent()
+				e.batcher.ReadAsync(s.Pages[0], len(s.Pages)*pageSize, dem)
+				if len(pfs) > 0 {
+					e.issuePrefetches(scr, pfs, pageSize)
+				}
+				dem.Wait(env)
+				e.k.ReleaseEvent(dem)
+			default:
 				e.rd.Read(env, s.Pages[0], len(s.Pages)*pageSize)
 			}
 			continue
 		}
 		// Beam step: join pages already in flight from a prefetch, read the
 		// rest in parallel, then wait for everything.
-		var joins []*sim.Event
+		var joins []*prefetchJob
 		toRead := s.Pages
-		if inflight != nil {
-			joins = make([]*sim.Event, 0, len(s.Pages))
-			toRead = make([]int64, 0, len(s.Pages))
+		if scr != nil && len(scr.inflight) > 0 {
+			scr.joins = scr.joins[:0]
+			scr.toRead = scr.toRead[:0]
 			for _, p := range s.Pages {
-				if ev, ok := inflight[p]; ok {
-					delete(inflight, p)
-					joins = append(joins, ev)
+				if pj, ok := scr.inflight[p]; ok {
+					delete(scr.inflight, p)
+					scr.joins = append(scr.joins, pj)
 				} else {
-					toRead = append(toRead, p)
+					scr.toRead = append(scr.toRead, p)
 				}
 			}
+			joins, toRead = scr.joins, scr.toRead
 		}
-		switch len(toRead) {
-		case 0:
-		case 1:
-			e.rd.Read(env, toRead[0], pageSize)
-		default:
-			g := env.NewGroup()
-			for _, p := range toRead {
-				p := p
-				g.Go(e.Name+"/beam-read", func(ce *sim.Env) { e.rd.Read(ce, p, pageSize) })
+		if async {
+			// Same demand-before-prefetch submission order as the contiguous
+			// case, with the whole residual beam joining one event.
+			var dem *sim.Event
+			if len(toRead) > 0 {
+				dem = e.k.AllocEvent()
+				if len(toRead) == 1 {
+					e.batcher.ReadAsync(toRead[0], pageSize, dem)
+				} else {
+					e.batcher.ReadPagesAsync(toRead, dem)
+				}
 			}
-			g.Wait(env)
+			if len(pfs) > 0 {
+				e.issuePrefetches(scr, pfs, pageSize)
+			}
+			if dem != nil {
+				dem.Wait(env)
+				e.k.ReleaseEvent(dem)
+			}
+		} else {
+			switch len(toRead) {
+			case 0:
+			case 1:
+				e.rd.Read(env, toRead[0], pageSize)
+			default:
+				e.dev.ReadPages(env, toRead)
+			}
 		}
-		for _, ev := range joins {
-			ev.Wait(env)
+		for _, pj := range joins {
+			pj.ev.Wait(env)
+			e.releasePF(pj)
 		}
+	}
+	if scr != nil {
+		// Sweep in issue order (deterministic — never map iteration).
+		// Joined jobs released at the join and possibly reissued since, so
+		// their refs are stale; completed-but-wasted prefetches release now;
+		// still-in-flight ones release themselves after their read lands
+		// (proc path) or park on the reap list (async path, no process to
+		// free them).
+		e.reapPrefetches()
+		for _, ref := range scr.jobs {
+			pj := ref.pj
+			if pj.gen != ref.gen {
+				continue
+			}
+			switch {
+			case pj.ev.Fired():
+				e.releasePF(pj)
+			case e.batcher != nil:
+				e.reap = append(e.reap, pj)
+			default:
+				pj.abandoned = true
+			}
+		}
+		e.releaseScratch(scr)
 	}
 }
 

@@ -226,6 +226,20 @@ func WithBeamWidth(w int) SearchOption  { return index.WithBeamWidth(w) }
 func WithLookAhead(n int) SearchOption        { return index.WithLookAhead(n) }
 func WithQueryConcurrency(n int) SearchOption { return index.WithQueryConcurrency(n) }
 
+// WithLayout selects the on-disk layout of a storage-based search: LayoutID
+// (one node per 4 KiB page slot, the paper's layout and the default) or
+// LayoutPage (page-node co-design: beam search over page groups packing each
+// node with its nearest graph neighbours, scoring every resident a fetched
+// page returns). The `layout` experiment (Extension G) measures the
+// device-read difference at equal recall.
+func WithLayout(layout string) SearchOption { return index.WithLayout(layout) }
+
+// On-disk layout names accepted by WithLayout.
+const (
+	LayoutID   = index.LayoutID
+	LayoutPage = index.LayoutPage
+)
+
 // Node-cache options for the storage-based indexes (DiskANN, SPANN): cache
 // the n hottest nodes between beam search and the device. Policies are
 // NodeCacheStatic (BFS-warmed from the entry point) and NodeCacheLRU.

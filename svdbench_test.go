@@ -54,7 +54,7 @@ func TestPublicConstantsAndRegistry(t *testing.T) {
 	if len(CatalogNames()) != 4 {
 		t.Error("catalog wrong")
 	}
-	if len(Experiments()) != 22 {
+	if len(Experiments()) != 23 {
 		t.Error("registry wrong")
 	}
 	if _, err := ExperimentByID("fig2"); err != nil {
